@@ -1,0 +1,261 @@
+//! Offline training of the quality model (Eq. 1), following eAR: decimate
+//! the mesh, render both versions, score the degradation with GMSD, and
+//! least-squares fit `(a, b, c, d)`.
+//!
+//! The paper runs this on a server (Fig. 3: "virtual object parameter
+//! training"); here it runs on the [`iqa`] software rasterizer. The
+//! scenario parameters in [`crate::scenarios`] were produced by this
+//! pipeline on proxy meshes (see the `fit_quality_model` example).
+
+use iqa::{gmsd, render_mesh, RenderOptions};
+
+use crate::mesh::Mesh;
+use crate::quality::QualityParams;
+
+/// One measured degradation sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Decimation ratio `R` (selected / maximum triangles).
+    pub ratio: f64,
+    /// User-object distance `D`.
+    pub distance: f64,
+    /// Normalized degradation error measured by GMSD.
+    pub error: f64,
+}
+
+/// Quality-of-fit statistics returned with the parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitStats {
+    /// Residual sum of squares at the chosen `d`.
+    pub sse: f64,
+    /// Number of samples used.
+    pub n: usize,
+}
+
+/// Measures degradation samples for `mesh` over grids of decimation
+/// ratios and distances.
+///
+/// The error is GMSD(full render, decimated render) normalized by
+/// GMSD(full render, empty frame) at the same distance — i.e. "fraction of
+/// the worst possible structural loss", which maps it into `[0, 1]` like
+/// eAR's normalized degradation.
+///
+/// # Panics
+///
+/// Panics if any grid is empty, or ratios/distances are out of range.
+pub fn measure_degradation(
+    mesh: &Mesh,
+    ratios: &[f64],
+    distances: &[f64],
+    resolution: usize,
+) -> Vec<Sample> {
+    assert!(!ratios.is_empty() && !distances.is_empty(), "empty grid");
+    let full = mesh.triangle_count();
+    assert!(full > 0, "mesh has no triangles");
+    let mut samples = Vec::new();
+    for &distance in distances {
+        assert!(distance > 0.0, "distance must be positive");
+        let opts = RenderOptions {
+            resolution,
+            distance,
+            ..RenderOptions::default()
+        };
+        let reference = render_mesh(mesh.vertices(), mesh.triangles(), &opts);
+        let blank = iqa::Image::new(resolution, resolution);
+        let worst = gmsd(&reference, &blank).max(1e-9);
+        for &ratio in ratios {
+            assert!((0.0..=1.0).contains(&ratio), "ratio out of range: {ratio}");
+            let target = ((full as f64 * ratio).round() as usize).max(1);
+            let decimated = mesh.decimate(target);
+            let img = render_mesh(decimated.vertices(), decimated.triangles(), &opts);
+            let error = (gmsd(&reference, &img) / worst).clamp(0.0, 1.0);
+            samples.push(Sample {
+                ratio,
+                distance,
+                error,
+            });
+        }
+    }
+    samples
+}
+
+/// Fits `(a, b, c, d)` of Eq. (1) to measured samples: for each candidate
+/// exponent `d` on a grid, `a, b, c` follow from linear least squares of
+/// `error ≈ (a R² + b R + c) / D^d`; the `d` with the smallest residual
+/// wins.
+///
+/// # Panics
+///
+/// Panics if fewer than 4 samples are provided (the model has 4 degrees of
+/// freedom).
+pub fn fit_params(samples: &[Sample]) -> (QualityParams, FitStats) {
+    assert!(samples.len() >= 4, "need at least 4 samples");
+    let mut best: Option<(QualityParams, f64)> = None;
+    let mut d = 0.25;
+    while d <= 3.0 + 1e-9 {
+        if let Some((params, sse)) = fit_abc(samples, d) {
+            if best.as_ref().is_none_or(|(_, b)| sse < *b) {
+                best = Some((params, sse));
+            }
+        }
+        d += 0.25;
+    }
+    let (params, sse) = best.expect("at least one exponent fits");
+    (
+        params,
+        FitStats {
+            sse,
+            n: samples.len(),
+        },
+    )
+}
+
+/// Linear least squares for `(a, b, c)` at a fixed exponent `d`, via the
+/// 3×3 normal equations. Returns the parameters and the SSE, or `None` if
+/// the system is singular.
+fn fit_abc(samples: &[Sample], d: f64) -> Option<(QualityParams, f64)> {
+    // Basis: phi(R, D) = [R², R, 1] / D^d; target: error.
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut atb = [0.0f64; 3];
+    for s in samples {
+        let w = 1.0 / s.distance.powf(d);
+        let phi = [s.ratio * s.ratio * w, s.ratio * w, w];
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[i][j] += phi[i] * phi[j];
+            }
+            atb[i] += phi[i] * s.error;
+        }
+    }
+    let coeffs = solve3(ata, atb)?;
+    let params = QualityParams::new(coeffs[0], coeffs[1], coeffs[2], d);
+    let sse = samples
+        .iter()
+        .map(|s| {
+            let pred = params.polynomial(s.ratio) / s.distance.powf(d);
+            (pred - s.error) * (pred - s.error)
+        })
+        .sum();
+    Some((params, sse))
+}
+
+/// Gaussian elimination with partial pivoting for a 3×3 system.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (k, pk) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= f * pk;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut sum = b[row];
+        for (k, xk) in x.iter().enumerate().skip(row + 1) {
+            sum -= a[row][k] * xk;
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates noiseless samples from known parameters.
+    fn synthetic(params: QualityParams) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for &r in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+            for &d in &[0.8, 1.2, 2.0, 3.0] {
+                out.push(Sample {
+                    ratio: r,
+                    distance: d,
+                    error: (params.polynomial(r) / d.powf(params.d)).clamp(0.0, 1.0),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_known_parameters() {
+        let truth = QualityParams::new(0.5, -1.3, 0.8, 1.0);
+        let (fitted, stats) = fit_params(&synthetic(truth));
+        assert!(stats.sse < 1e-6, "sse = {}", stats.sse);
+        assert!((fitted.a - truth.a).abs() < 0.05, "a = {}", fitted.a);
+        assert!((fitted.b - truth.b).abs() < 0.05);
+        assert!((fitted.c - truth.c).abs() < 0.05);
+        assert!((fitted.d - truth.d).abs() < 0.26); // grid resolution
+    }
+
+    #[test]
+    fn recovers_fractional_exponent() {
+        let truth = QualityParams::new(0.3, -0.8, 0.5, 1.5);
+        let (fitted, _) = fit_params(&synthetic(truth));
+        assert!((fitted.d - 1.5).abs() < 0.26, "d = {}", fitted.d);
+    }
+
+    #[test]
+    fn solve3_known_system() {
+        // x = 1, y = 2, z = 3 for a well-conditioned system.
+        let a = [[2.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+        let b = [4.0, 10.0, 8.0];
+        let x = solve3(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!((x[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve3_singular_returns_none() {
+        let a = [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0], [0.0, 0.0, 1.0]];
+        assert!(solve3(a, [1.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn end_to_end_fit_on_a_real_mesh() {
+        // Small mesh + low resolution keeps this fast; the point is that
+        // the full decimate→render→GMSD→fit pipeline produces a sane,
+        // decreasing-in-R degradation model.
+        let mesh = Mesh::rock(3, 24, 24);
+        let samples = measure_degradation(&mesh, &[0.15, 0.3, 0.5, 0.75, 1.0], &[2.5, 4.0], 96);
+        assert_eq!(samples.len(), 10);
+        // Errors are in [0, 1] and roughly decreasing in the ratio.
+        for s in &samples {
+            assert!((0.0..=1.0).contains(&s.error), "{s:?}");
+        }
+        let (params, _) = fit_params(&samples);
+        let m = crate::quality::DegradationModel::new(params);
+        assert!(
+            m.degradation(0.15, 2.5) >= m.degradation(1.0, 2.5),
+            "fitted model should degrade more at lower ratios: {params:?}"
+        );
+    }
+
+    #[test]
+    fn full_quality_samples_have_low_error() {
+        let mesh = Mesh::uv_sphere(16, 16);
+        let samples = measure_degradation(&mesh, &[1.0], &[3.0], 64);
+        assert!(samples[0].error < 0.05, "error = {}", samples[0].error);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 samples")]
+    fn too_few_samples_panics() {
+        fit_params(&[Sample {
+            ratio: 1.0,
+            distance: 1.0,
+            error: 0.0,
+        }]);
+    }
+}

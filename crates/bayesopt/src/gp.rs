@@ -1,0 +1,374 @@
+//! Gaussian-process regression (Rasmussen & Williams, Algorithm 2.1).
+
+use crate::kernel::Kernel;
+use crate::linalg::{Cholesky, Matrix, NotPositiveDefinite};
+
+/// Jitter ladder added to the Gram diagonal until Cholesky succeeds.
+const JITTERS: [f64; 4] = [0.0, 1e-10, 1e-8, 1e-6];
+
+/// A Gaussian-process posterior over an unknown function, built from noisy
+/// observations `(z_i, y_i)`.
+///
+/// Targets are internally *standardized* (centered on their mean and
+/// scaled by their standard deviation) before fitting, so the unit signal
+/// variance of the kernel matches the data regardless of the cost scale —
+/// without this, one pathological configuration with a huge cost would
+/// make the surrogate useless for ranking the sane ones.
+///
+/// # Example
+///
+/// ```
+/// use bayesopt::{GaussianProcess, Kernel};
+///
+/// let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-6);
+/// for i in 0..5 {
+///     let z = i as f64 / 4.0;
+///     gp.add_observation(vec![z], (z - 0.5).powi(2));
+/// }
+/// gp.fit().unwrap();
+/// let (mu, var) = gp.predict(&[0.5]);
+/// assert!(mu < 0.1);                // near the minimum
+/// let (_, var_far) = gp.predict(&[5.0]);
+/// assert!(var_far > 10.0 * var);    // far from data = far less certain
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise_var: f64,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    // Fitted state.
+    chol: Option<Cholesky>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+    y_scale: f64,
+}
+
+impl GaussianProcess {
+    /// Creates an empty GP with observation-noise variance `noise_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var` is negative or not finite.
+    pub fn new(kernel: Kernel, noise_var: f64) -> Self {
+        assert!(
+            noise_var.is_finite() && noise_var >= 0.0,
+            "invalid noise variance: {noise_var}"
+        );
+        GaussianProcess {
+            kernel,
+            noise_var,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            chol: None,
+            alpha: Vec::new(),
+            y_mean: 0.0,
+            y_scale: 1.0,
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True if the GP has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Kernel {
+        self.kernel_ref()
+    }
+
+    fn kernel_ref(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Adds an observation; invalidates the fit until [`Self::fit`] is
+    /// called again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is not finite, or `z`'s dimension differs from the
+    /// existing observations.
+    pub fn add_observation(&mut self, z: Vec<f64>, y: f64) {
+        assert!(y.is_finite(), "non-finite target: {y}");
+        if let Some(first) = self.xs.first() {
+            assert_eq!(first.len(), z.len(), "dimension mismatch");
+        }
+        self.xs.push(z);
+        self.ys.push(y);
+        self.chol = None;
+    }
+
+    /// Fits the posterior: factorizes `K + σ²_n I` and precomputes
+    /// `α = (K + σ²_n I)⁻¹ (y − ȳ)`, escalating diagonal jitter if the
+    /// Gram matrix is numerically singular (e.g. duplicated inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefinite`] if even the largest jitter fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no observations.
+    pub fn fit(&mut self) -> Result<(), NotPositiveDefinite> {
+        let n = self.xs.len();
+        assert!(n > 0, "cannot fit a GP with no observations");
+        self.y_mean = self.ys.iter().sum::<f64>() / n as f64;
+        let var = self
+            .ys
+            .iter()
+            .map(|y| (y - self.y_mean) * (y - self.y_mean))
+            .sum::<f64>()
+            / n as f64;
+        self.y_scale = var.sqrt().max(1e-9);
+        let centered: Vec<f64> = self
+            .ys
+            .iter()
+            .map(|y| (y - self.y_mean) / self.y_scale)
+            .collect();
+        for jitter in JITTERS {
+            let gram = Matrix::from_fn(n, n, |r, c| {
+                self.kernel.eval(&self.xs[r], &self.xs[c])
+                    + if r == c { self.noise_var + jitter } else { 0.0 }
+            });
+            if let Ok(chol) = Cholesky::new(&gram) {
+                self.alpha = chol.solve(&centered);
+                self.chol = Some(chol);
+                return Ok(());
+            }
+        }
+        Err(NotPositiveDefinite)
+    }
+
+    /// True if the model is fitted and ready to predict.
+    pub fn is_fitted(&self) -> bool {
+        self.chol.is_some()
+    }
+
+    /// Posterior mean and variance at `z` (Eq. 6 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GP is not fitted.
+    pub fn predict(&self, z: &[f64]) -> (f64, f64) {
+        let chol = self.chol.as_ref().expect("GP not fitted: call fit()");
+        let k_star: Vec<f64> = self.xs.iter().map(|x| self.kernel.eval(x, z)).collect();
+        let mu = self.y_mean + self.y_scale * crate::linalg::dot(&k_star, &self.alpha);
+        let v = chol.solve_lower(&k_star);
+        let var = self.kernel.eval(z, z) - crate::linalg::dot(&v, &v);
+        (mu, (var.max(0.0)) * self.y_scale * self.y_scale)
+    }
+
+    /// The observed inputs.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// The observed targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The smallest observed target (the incumbent for minimization).
+    pub fn best_observed(&self) -> Option<f64> {
+        self.ys.iter().copied().min_by(f64::total_cmp)
+    }
+
+    /// The log marginal likelihood of the (standardized) targets under the
+    /// fitted model — Rasmussen & Williams Eq. (2.30):
+    /// `−½ yᵀα − Σ log L_ii − (n/2) log 2π`. Used to compare kernel
+    /// hyperparameters on the same data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the GP is not fitted.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let chol = self.chol.as_ref().expect("GP not fitted: call fit()");
+        let n = self.ys.len() as f64;
+        let centered: Vec<f64> = self
+            .ys
+            .iter()
+            .map(|y| (y - self.y_mean) / self.y_scale)
+            .collect();
+        let data_fit = -0.5 * crate::linalg::dot(&centered, &self.alpha);
+        let complexity = -0.5 * chol.log_det();
+        data_fit + complexity - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Refits the GP at each candidate length scale (holding the kernel
+    /// family and signal variance fixed) and keeps the one maximizing the
+    /// log marginal likelihood — the standard type-II MLE hyperparameter
+    /// selection, on a grid for robustness.
+    ///
+    /// Returns the chosen length scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefinite`] if no candidate produces a valid
+    /// factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or the GP has no observations.
+    pub fn fit_length_scale(&mut self, candidates: &[f64]) -> Result<f64, NotPositiveDefinite> {
+        assert!(!candidates.is_empty(), "need candidate length scales");
+        let mut best: Option<(f64, f64)> = None; // (lml, scale)
+        for &scale in candidates {
+            assert!(scale > 0.0 && scale.is_finite(), "invalid length scale");
+            self.kernel = match self.kernel {
+                Kernel::Matern12 { signal_var, .. } => Kernel::Matern12 {
+                    length_scale: scale,
+                    signal_var,
+                },
+                Kernel::Matern32 { signal_var, .. } => Kernel::Matern32 {
+                    length_scale: scale,
+                    signal_var,
+                },
+                Kernel::Matern52 { signal_var, .. } => Kernel::Matern52 {
+                    length_scale: scale,
+                    signal_var,
+                },
+                Kernel::Rbf { signal_var, .. } => Kernel::Rbf {
+                    length_scale: scale,
+                    signal_var,
+                },
+            };
+            if self.fit().is_err() {
+                continue;
+            }
+            let lml = self.log_marginal_likelihood();
+            if best.is_none_or(|(b, _)| lml > b) {
+                best = Some((lml, scale));
+            }
+        }
+        let (_, scale) = best.ok_or(NotPositiveDefinite)?;
+        self.kernel = match self.kernel {
+            Kernel::Matern12 { signal_var, .. } => Kernel::Matern12 {
+                length_scale: scale,
+                signal_var,
+            },
+            Kernel::Matern32 { signal_var, .. } => Kernel::Matern32 {
+                length_scale: scale,
+                signal_var,
+            },
+            Kernel::Matern52 { signal_var, .. } => Kernel::Matern52 {
+                length_scale: scale,
+                signal_var,
+            },
+            Kernel::Rbf { signal_var, .. } => Kernel::Rbf {
+                length_scale: scale,
+                signal_var,
+            },
+        };
+        self.fit()?;
+        Ok(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted_on(f: impl Fn(f64) -> f64, points: &[f64]) -> GaussianProcess {
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-8);
+        for &z in points {
+            gp.add_observation(vec![z], f(z));
+        }
+        gp.fit().unwrap();
+        gp
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let gp = fitted_on(|z| z.sin(), &[0.0, 0.5, 1.0, 1.5, 2.0]);
+        for &z in &[0.0, 0.5, 1.0, 1.5, 2.0] {
+            let (mu, var) = gp.predict(&[z]);
+            assert!((mu - z.sin()).abs() < 1e-3, "mu({z}) = {mu}");
+            assert!(var < 1e-3, "var({z}) = {var}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let gp = fitted_on(|z| z, &[0.0, 0.2, 0.4]);
+        let (_, near) = gp.predict(&[0.2]);
+        let (_, far) = gp.predict(&[4.0]);
+        assert!(far > near * 100.0, "near={near}, far={far}");
+        // Far from data, the mean reverts towards the prior (ȳ).
+        let (mu_far, _) = gp.predict(&[100.0]);
+        assert!((mu_far - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_inputs_survive_via_jitter() {
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 0.0);
+        gp.add_observation(vec![1.0, 2.0], 3.0);
+        gp.add_observation(vec![1.0, 2.0], 3.1);
+        assert!(gp.fit().is_ok());
+        let (mu, _) = gp.predict(&[1.0, 2.0]);
+        assert!((mu - 3.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn best_observed_tracks_minimum() {
+        let gp = fitted_on(|z| (z - 1.0).powi(2), &[0.0, 0.5, 1.0, 2.0]);
+        assert_eq!(gp.best_observed(), Some(0.0));
+        assert_eq!(gp.len(), 4);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-6);
+        gp.add_observation(vec![0.0], 0.0);
+        gp.predict(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mixed_dimensions_panic() {
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-6);
+        gp.add_observation(vec![0.0], 0.0);
+        gp.add_observation(vec![0.0, 1.0], 0.0);
+    }
+
+    #[test]
+    fn lml_prefers_the_matching_length_scale() {
+        // Data drawn from a smooth slow function: a longer length scale
+        // should win over a tiny one.
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-4);
+        for i in 0..12 {
+            let z = i as f64 * 0.2;
+            gp.add_observation(vec![z], (0.5 * z).sin());
+        }
+        let chosen = gp.fit_length_scale(&[0.05, 0.3, 1.0, 3.0]).unwrap();
+        assert!(chosen >= 1.0, "chosen = {chosen}");
+        assert!(gp.is_fitted());
+    }
+
+    #[test]
+    fn lml_is_finite_and_comparable() {
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-4);
+        for i in 0..6 {
+            gp.add_observation(vec![i as f64], (i as f64).cos());
+        }
+        gp.fit().unwrap();
+        let a = gp.log_marginal_likelihood();
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn adding_observation_invalidates_fit() {
+        let mut gp = GaussianProcess::new(Kernel::paper_default(), 1e-6);
+        gp.add_observation(vec![0.0], 0.0);
+        gp.fit().unwrap();
+        assert!(gp.is_fitted());
+        gp.add_observation(vec![1.0], 1.0);
+        assert!(!gp.is_fitted());
+    }
+}

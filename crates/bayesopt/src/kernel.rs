@@ -1,0 +1,203 @@
+//! Covariance kernels for the Gaussian-process surrogate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::euclidean;
+
+/// A stationary covariance kernel `k(z, z')`.
+///
+/// The paper uses **Matérn with ν = 5/2** (Eq. 7) with length scale
+/// `ℓ = 1`; the other members of the family (ν = 1/2, 3/2, ∞ = RBF) are
+/// provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Matérn ν = 1/2 (exponential kernel): very rough functions.
+    Matern12 {
+        /// Length scale `ℓ`.
+        length_scale: f64,
+        /// Signal variance `σ²_φ`.
+        signal_var: f64,
+    },
+    /// Matérn ν = 3/2.
+    Matern32 {
+        /// Length scale `ℓ`.
+        length_scale: f64,
+        /// Signal variance `σ²_φ`.
+        signal_var: f64,
+    },
+    /// Matérn ν = 5/2 — the paper's choice (Eq. 7).
+    Matern52 {
+        /// Length scale `ℓ`.
+        length_scale: f64,
+        /// Signal variance `σ²_φ`.
+        signal_var: f64,
+    },
+    /// Squared exponential (RBF): infinitely smooth functions.
+    Rbf {
+        /// Length scale `ℓ`.
+        length_scale: f64,
+        /// Signal variance `σ²_φ`.
+        signal_var: f64,
+    },
+}
+
+impl Kernel {
+    /// The paper's configuration: Matérn 5/2 with `ℓ = 1`, unit signal
+    /// variance.
+    pub fn paper_default() -> Self {
+        Kernel::Matern52 {
+            length_scale: 1.0,
+            signal_var: 1.0,
+        }
+    }
+
+    /// The kernel's length scale.
+    pub fn length_scale(&self) -> f64 {
+        match *self {
+            Kernel::Matern12 { length_scale, .. }
+            | Kernel::Matern32 { length_scale, .. }
+            | Kernel::Matern52 { length_scale, .. }
+            | Kernel::Rbf { length_scale, .. } => length_scale,
+        }
+    }
+
+    /// The kernel's signal variance (its value at distance zero).
+    pub fn signal_var(&self) -> f64 {
+        match *self {
+            Kernel::Matern12 { signal_var, .. }
+            | Kernel::Matern32 { signal_var, .. }
+            | Kernel::Matern52 { signal_var, .. }
+            | Kernel::Rbf { signal_var, .. } => signal_var,
+        }
+    }
+
+    /// Evaluates `k(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different dimensions.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = euclidean(a, b);
+        self.eval_dist(r)
+    }
+
+    /// Evaluates the kernel as a function of the Euclidean distance `r`.
+    pub fn eval_dist(&self, r: f64) -> f64 {
+        match *self {
+            Kernel::Matern12 {
+                length_scale: l,
+                signal_var: s,
+            } => s * (-r / l).exp(),
+            Kernel::Matern32 {
+                length_scale: l,
+                signal_var: s,
+            } => {
+                let q = 3.0_f64.sqrt() * r / l;
+                s * (1.0 + q) * (-q).exp()
+            }
+            Kernel::Matern52 {
+                length_scale: l,
+                signal_var: s,
+            } => {
+                // Eq. (7): σ² (1 + √5 r/ℓ + 5r²/(3ℓ²)) exp(−√5 r/ℓ).
+                let q = 5.0_f64.sqrt() * r / l;
+                s * (1.0 + q + 5.0 * r * r / (3.0 * l * l)) * (-q).exp()
+            }
+            Kernel::Rbf {
+                length_scale: l,
+                signal_var: s,
+            } => s * (-0.5 * (r / l) * (r / l)).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KERNELS: [Kernel; 4] = [
+        Kernel::Matern12 {
+            length_scale: 1.0,
+            signal_var: 1.0,
+        },
+        Kernel::Matern32 {
+            length_scale: 1.0,
+            signal_var: 1.0,
+        },
+        Kernel::Matern52 {
+            length_scale: 1.0,
+            signal_var: 1.0,
+        },
+        Kernel::Rbf {
+            length_scale: 1.0,
+            signal_var: 1.0,
+        },
+    ];
+
+    #[test]
+    fn zero_distance_gives_signal_variance() {
+        for k in KERNELS {
+            assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        }
+        let k = Kernel::Matern52 {
+            length_scale: 1.0,
+            signal_var: 2.5,
+        };
+        assert!((k.eval_dist(0.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_matches_eq7() {
+        let k = Kernel::paper_default();
+        let r: f64 = 0.7;
+        let expected =
+            (1.0 + 5.0_f64.sqrt() * r + 5.0 * r * r / 3.0) * (-(5.0_f64.sqrt()) * r).exp();
+        assert!((k.eval_dist(r) - expected).abs() < 1e-12);
+        assert_eq!(k.length_scale(), 1.0);
+        assert_eq!(k.signal_var(), 1.0);
+    }
+
+    #[test]
+    fn smoother_kernels_decay_slower_at_short_range() {
+        // Near r = 0 the rough Matérn 1/2 drops fastest.
+        let r = 0.1;
+        let v12 = KERNELS[0].eval_dist(r);
+        let v32 = KERNELS[1].eval_dist(r);
+        let v52 = KERNELS[2].eval_dist(r);
+        assert!(v12 < v32 && v32 < v52);
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_are_monotone_decreasing_and_bounded(r1 in 0.0f64..10.0, r2 in 0.0f64..10.0) {
+            let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+            for k in KERNELS {
+                let a = k.eval_dist(lo);
+                let b = k.eval_dist(hi);
+                prop_assert!(a >= b - 1e-12, "{k:?} not decreasing: k({lo})={a} < k({hi})={b}");
+                prop_assert!(a <= 1.0 + 1e-12 && b >= 0.0);
+            }
+        }
+
+        #[test]
+        fn symmetric_in_arguments(a in prop::collection::vec(-5.0f64..5.0, 3), b in prop::collection::vec(-5.0f64..5.0, 3)) {
+            for k in KERNELS {
+                prop_assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn gram_matrices_are_positive_semidefinite(points in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 2), 2..6)) {
+            use crate::linalg::{Cholesky, Matrix};
+            for k in KERNELS {
+                let n = points.len();
+                // Jittered Gram matrix must be PD for distinct-ish points.
+                let gram = Matrix::from_fn(n, n, |r, c| {
+                    k.eval(&points[r], &points[c]) + if r == c { 1e-6 } else { 0.0 }
+                });
+                prop_assert!(Cholesky::new(&gram).is_ok(), "{k:?} gram not PSD");
+            }
+        }
+    }
+}

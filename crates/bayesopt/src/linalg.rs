@@ -1,0 +1,365 @@
+//! Minimal dense linear algebra: just enough for Gaussian-process
+//! regression (symmetric positive-definite systems via Cholesky).
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` everywhere.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.data[r * self.cols + c] * x[c])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// True if `|self - other|` is entrywise below `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:10.4} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite;
+
+impl fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is not positive definite")
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, with solvers for `A x = b`.
+///
+/// # Example
+///
+/// ```
+/// use bayesopt::linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_fn(2, 2, |r, c| if r == c { 2.0 } else { 0.5 });
+/// let chol = Cholesky::new(&a).unwrap();
+/// let x = chol.solve(&[1.0, 1.0]);
+/// let b = a.mul_vec(&x);
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper part zeroed).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefinite`] if a pivot is not strictly positive
+    /// (the usual fix in GP code is to add jitter to the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L y = b` by forward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * yk;
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` by back substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != dim()`.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `A x = b` (i.e. `L Lᵀ x = b`).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A|`, cheap from the factor's diagonal.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean distance between two equal-length points.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let chol = Cholesky::new(&Matrix::identity(3)).unwrap();
+        let x = chol.solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        assert!((chol.log_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_factorization() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]].
+        let a = Matrix::from_fn(2, 2, |r, c| [[4.0, 2.0], [2.0, 3.0]][r][c]);
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.l().get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((chol.l().get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((chol.l().get(1, 1) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((chol.log_det() - (8.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_pd_is_an_error() {
+        let a = Matrix::from_fn(2, 2, |r, c| if r == c { -1.0 } else { 0.0 });
+        assert!(matches!(Cholesky::new(&a), Err(NotPositiveDefinite)));
+    }
+
+    #[test]
+    fn singular_is_an_error() {
+        let a = Matrix::from_fn(2, 2, |_, _| 1.0);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Matrix::identity(2)).is_empty());
+    }
+
+    /// Builds a random SPD matrix `A = B Bᵀ + n·I` from a flat seed vector.
+    fn spd_from(values: &[f64], n: usize) -> Matrix {
+        let b = Matrix::from_fn(n, n, |r, c| values[r * n + c]);
+        Matrix::from_fn(n, n, |r, c| {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += b.get(r, k) * b.get(c, k);
+            }
+            s + if r == c { n as f64 } else { 0.0 }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_round_trips(values in prop::collection::vec(-3.0f64..3.0, 16), b in prop::collection::vec(-5.0f64..5.0, 4)) {
+            let a = spd_from(&values, 4);
+            let chol = Cholesky::new(&a).unwrap();
+            // L Lᵀ == A
+            let l = chol.l();
+            let recon = Matrix::from_fn(4, 4, |r, c| {
+                (0..4).map(|k| l.get(r, k) * l.get(c, k)).sum()
+            });
+            prop_assert!(recon.approx_eq(&a, 1e-9));
+            // A x == b after solve.
+            let x = chol.solve(&b);
+            let back = a.mul_vec(&x);
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+            }
+        }
+
+        #[test]
+        fn solve_lower_upper_consistency(values in prop::collection::vec(-2.0f64..2.0, 9), b in prop::collection::vec(-5.0f64..5.0, 3)) {
+            let a = spd_from(&values, 3);
+            let chol = Cholesky::new(&a).unwrap();
+            let y = chol.solve_lower(&b);
+            // L y == b
+            let back: Vec<f64> = (0..3)
+                .map(|i| (0..=i).map(|k| chol.l().get(i, k) * y[k]).sum())
+                .collect();
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+        }
+    }
+}

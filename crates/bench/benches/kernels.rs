@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the algorithmic kernels HBO runs at every
+//! activation: the per-iteration costs the paper's Section IV-D complexity
+//! analysis talks about (`O(K³ + MN log(MN) + L log(L))`), plus the
+//! substrates (rasterizer, GMSD, decimation, discrete-event simulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayesopt");
+    // GP fit at the paper's dataset size (20 observations, 4-D inputs).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let space = bayesopt::space::SimplexBoxSpace::new(3, 0.2, 1.0);
+    use bayesopt::SampleSpace;
+    let points: Vec<Vec<f64>> = (0..20).map(|_| space.sample(&mut rng)).collect();
+    group.bench_function("gp_fit_20x4", |b| {
+        b.iter_batched(
+            || {
+                let mut gp = bayesopt::GaussianProcess::new(bayesopt::Kernel::paper_default(), 1e-3);
+                for (i, p) in points.iter().enumerate() {
+                    gp.add_observation(p.clone(), (i as f64).sin());
+                }
+                gp
+            },
+            |mut gp| gp.fit().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // One full BO suggestion (fit + 1280 candidate scores).
+    group.bench_function("bo_suggest_k20", |b| {
+        b.iter_batched(
+            || {
+                let mut bo = bayesopt::BoOptimizer::new(
+                    bayesopt::space::SimplexBoxSpace::new(3, 0.2, 1.0),
+                    bayesopt::BoConfig::default(),
+                );
+                let mut r = rand::rngs::StdRng::seed_from_u64(7);
+                for _ in 0..20 {
+                    let z = bo.suggest(&mut r);
+                    let cost = z[0] - z[3];
+                    bo.observe(z, cost);
+                }
+                (bo, r)
+            },
+            |(mut bo, mut r)| black_box(bo.suggest(&mut r)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hbo_core");
+    let profiles: Vec<hbo_core::TaskProfile> = (0..6)
+        .map(|i| {
+            hbo_core::TaskProfile::new(
+                format!("t{i}"),
+                [Some(10.0 + i as f64), Some(20.0 - i as f64), Some(15.0)],
+            )
+        })
+        .collect();
+    group.bench_function("allocate_tasks_m6", |b| {
+        b.iter(|| black_box(hbo_core::allocate_tasks(&[0.4, 0.1, 0.5], &profiles)))
+    });
+    let scene = arscene::scenarios::sc1();
+    group.bench_function("td_distribute_sc1", |b| {
+        b.iter_batched(
+            || scene.clone(),
+            |mut s| s.distribute_triangles(0.72),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    let mesh = arscene::mesh::Mesh::rock(3, 24, 24);
+    group.bench_function("decimate_rock_1k_to_256", |b| {
+        b.iter(|| black_box(mesh.decimate(256)))
+    });
+
+    let opts = iqa::RenderOptions {
+        resolution: 96,
+        ..iqa::RenderOptions::default()
+    };
+    group.bench_function("raster_rock_96px", |b| {
+        b.iter(|| black_box(iqa::render_mesh(mesh.vertices(), mesh.triangles(), &opts)))
+    });
+
+    let img_a = iqa::render_mesh(mesh.vertices(), mesh.triangles(), &opts);
+    let coarse = mesh.decimate(200);
+    let img_b = iqa::render_mesh(coarse.vertices(), coarse.triangles(), &opts);
+    group.bench_function("gmsd_96px", |b| {
+        b.iter(|| black_box(iqa::gmsd(&img_a, &img_b)))
+    });
+
+    // DES throughput: one simulated second of the full SC1-CF1 app.
+    group.bench_function("socsim_sc1cf1_1s", |b| {
+        b.iter_batched(
+            || {
+                let mut app = marsim::MarApp::new(&marsim::ScenarioSpec::sc1_cf1());
+                app.place_all_objects();
+                app
+            },
+            |mut app| app.run_for_secs(1.0),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gp, bench_allocation, bench_substrates);
+criterion_main!(benches);

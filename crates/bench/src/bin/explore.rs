@@ -1,0 +1,176 @@
+//! Interactive scenario explorer: run HBO on any scenario with custom
+//! parameters from the command line.
+//!
+//! ```text
+//! explore [SCENARIO] [--seed N] [--weight W] [--iterations K] [--initial M]
+//!         [--device pixel7|s22] [--distance D] [--baselines]
+//!
+//! SCENARIO: SC1-CF1 (default) | SC2-CF1 | SC1-CF2 | SC2-CF2
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p hbo-bench --bin explore -- SC2-CF1 --seed 7
+//! cargo run --release -p hbo-bench --bin explore -- SC1-CF1 --weight 5 --baselines
+//! ```
+
+use hbo_core::{Baseline, HboConfig};
+use marsim::experiment::{compare_baselines, run_hbo};
+use marsim::ScenarioSpec;
+
+struct Args {
+    scenario: String,
+    seed: u64,
+    weight: f64,
+    iterations: usize,
+    initial: usize,
+    device: String,
+    distance: Option<f64>,
+    baselines: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: "SC1-CF1".to_owned(),
+        seed: 2024,
+        weight: 2.5,
+        iterations: 15,
+        initial: 5,
+        device: "pixel7".to_owned(),
+        distance: None,
+        baselines: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--weight" => {
+                args.weight = value(&mut i)?.parse().map_err(|e| format!("weight: {e}"))?
+            }
+            "--iterations" => {
+                args.iterations = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("iterations: {e}"))?
+            }
+            "--initial" => {
+                args.initial = value(&mut i)?.parse().map_err(|e| format!("initial: {e}"))?
+            }
+            "--device" => args.device = value(&mut i)?,
+            "--distance" => {
+                args.distance = Some(value(&mut i)?.parse().map_err(|e| format!("distance: {e}"))?)
+            }
+            "--baselines" => args.baselines = true,
+            "--help" | "-h" => return Err("help".to_owned()),
+            other if !other.starts_with('-') => args.scenario = other.to_owned(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore [SC1-CF1|SC2-CF1|SC1-CF2|SC2-CF2] [--seed N] [--weight W]\n\
+         \x20              [--iterations K] [--initial M] [--device pixel7|s22]\n\
+         \x20              [--distance D] [--baselines]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            usage();
+        }
+    };
+
+    let mut spec = match args.scenario.to_uppercase().as_str() {
+        "SC1-CF1" => ScenarioSpec::sc1_cf1(),
+        "SC2-CF1" => ScenarioSpec::sc2_cf1(),
+        "SC1-CF2" => ScenarioSpec::sc1_cf2(),
+        "SC2-CF2" => ScenarioSpec::sc2_cf2(),
+        other => {
+            eprintln!("error: unknown scenario {other}");
+            usage();
+        }
+    };
+    match args.device.as_str() {
+        "pixel7" => {}
+        "s22" => spec.device = soc::DeviceProfile::galaxy_s22(),
+        other => {
+            eprintln!("error: unknown device {other}");
+            usage();
+        }
+    }
+    if let Some(d) = args.distance {
+        spec.user_distance = d;
+    }
+    let config = HboConfig {
+        w: args.weight,
+        n_initial: args.initial,
+        iterations: args.iterations,
+        ..HboConfig::default()
+    };
+
+    println!(
+        "scenario {} on {} (seed {}, w = {}, {}+{} iterations, distance {:.2} m)\n",
+        spec.name, spec.device.name, args.seed, args.weight, args.initial, args.iterations,
+        spec.user_distance
+    );
+
+    if args.baselines {
+        let result = compare_baselines(&spec, &config, args.seed);
+        for b in Baseline::ALL {
+            let o = result.outcome(b);
+            println!(
+                "{:<5} x={:.2}  Q={:.3}  eps={:.3}  reward={:+.3}  alloc={}",
+                b.label(),
+                o.x,
+                o.measurement.quality,
+                o.measurement.epsilon,
+                o.reward(config.w),
+                o.allocation.iter().map(|d| d.letter()).collect::<String>()
+            );
+        }
+    } else {
+        let run = run_hbo(&spec, &config, args.seed);
+        for (i, r) in run.records.iter().enumerate() {
+            println!(
+                "iter {:>2}: x={:.2} alloc={} Q={:.3} eps={:.3} cost={:+.3}",
+                i + 1,
+                r.point.x,
+                r.point.allocation.iter().map(|d| d.letter()).collect::<String>(),
+                r.quality,
+                r.epsilon,
+                r.cost
+            );
+        }
+        println!(
+            "\nbest: x={:.2} alloc={} Q={:.3} eps={:.3} cost={:+.3} (converged at iter {})",
+            run.best.point.x,
+            run.best
+                .point
+                .allocation
+                .iter()
+                .map(|d| d.letter())
+                .collect::<String>(),
+            run.best.quality,
+            run.best.epsilon,
+            run.best.cost,
+            run.iterations_to_converge()
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The allocation heuristics of Algorithm 1: proportion rounding
+//! (lines 2–12) and priority-queue greedy per-task assignment
+//! (lines 13–22).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use nnmodel::Delegate;
+
+use crate::profile::TaskProfile;
+
+/// Lines 2–12 of Algorithm 1: converts BO's fractional resource usages
+/// `c` into integer task counts `C` with `Σ C_i = m`, flooring each share
+/// and handing the rounding remainder to resources in non-increasing `c`
+/// order (ties broken by resource index, which matches a stable sort of
+/// the paper's pseudocode).
+///
+/// # Panics
+///
+/// Panics if `c` is empty, has negative entries, or `m == 0`.
+///
+/// # Example
+///
+/// ```
+/// // The paper's worked example: c = [0.4, 0.1, 0.5] with M = 3 → [1, 0, 2].
+/// assert_eq!(hbo_core::round_proportions(&[0.4, 0.1, 0.5], 3), vec![1, 0, 2]);
+/// ```
+pub fn round_proportions(c: &[f64], m: usize) -> Vec<usize> {
+    assert!(!c.is_empty(), "need at least one resource");
+    assert!(m > 0, "need at least one task");
+    assert!(
+        c.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "resource usages must be non-negative"
+    );
+    let mut counts: Vec<usize> = c.iter().map(|&v| (v * m as f64).floor() as usize).collect();
+    // Guard against floating rounding pushing the floor sum past m.
+    let mut assigned: usize = counts.iter().sum();
+    while assigned > m {
+        let i = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("non-empty counts");
+        counts[i] -= 1;
+        assigned -= 1;
+    }
+    let mut remaining = m - assigned;
+    if remaining > 0 {
+        // Resources in non-increasing usage order (line 7).
+        let mut order: Vec<usize> = (0..c.len()).collect();
+        order.sort_by(|&i, &j| c[j].total_cmp(&c[i]).then(i.cmp(&j)));
+        // Lines 8–12: one extra task per resource in that order. The paper
+        // breaks after the remainder is exhausted; since the remainder can
+        // exceed the resource count only when every share floored hard,
+        // wrap around as many times as needed.
+        'outer: loop {
+            for &i in &order {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                counts[i] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Heap entry: `(latency, task, resource)` ordered by latency (then task,
+/// then resource for determinism). Latency is keyed in integer nanoseconds
+/// so the entry is totally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    latency_key: u64,
+    task: usize,
+    resource: usize,
+}
+
+/// Lines 13–22 of Algorithm 1: assigns each of the `M` tasks to a concrete
+/// resource honoring the quota `C` derived from `c`, greedily serving the
+/// `(task, resource)` pair with the lowest profiled isolated latency
+/// first. When the head pair's resource has no quota left, every entry of
+/// that resource is discarded (line 22); once a task is placed, its other
+/// entries are discarded (line 20). Incompatible (NA) pairs never enter
+/// the queue.
+///
+/// If the queue drains before every task is placed (possible when quota
+/// sits on resources the remaining tasks cannot use), the leftover tasks
+/// fall back to their individually best supported resource — a documented
+/// completion of the paper's pseudocode, which does not specify this case.
+///
+/// # Panics
+///
+/// Panics if `c.len() != Delegate::COUNT` or `profiles` is empty.
+pub fn allocate_tasks(c: &[f64], profiles: &[TaskProfile]) -> Vec<Delegate> {
+    assert_eq!(c.len(), Delegate::COUNT, "one usage per resource");
+    assert!(!profiles.is_empty(), "need at least one task");
+    let m = profiles.len();
+    let mut quota = round_proportions(c, m);
+
+    // Build the priority queue P of all supported (task, resource) pairs.
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+    for (t, p) in profiles.iter().enumerate() {
+        for d in Delegate::ALL {
+            if let Some(l) = p.latency_on(d) {
+                heap.push(Reverse(Entry {
+                    latency_key: (l * 1e6) as u64,
+                    task: t,
+                    resource: d.index(),
+                }));
+            }
+        }
+    }
+
+    let mut assignment: Vec<Option<Delegate>> = vec![None; m];
+    let mut resource_closed = [false; Delegate::COUNT];
+    let mut placed = 0;
+    while placed < m {
+        let Some(Reverse(entry)) = heap.pop() else {
+            break; // queue drained with tasks left: fall back below
+        };
+        if assignment[entry.task].is_some() || resource_closed[entry.resource] {
+            continue; // lazily-deleted entry (lines 20 / 22)
+        }
+        if quota[entry.resource] > 0 {
+            assignment[entry.task] = Some(Delegate::from_index(entry.resource));
+            quota[entry.resource] -= 1;
+            placed += 1;
+        } else {
+            resource_closed[entry.resource] = true;
+        }
+    }
+
+    // Fallback for tasks stranded by quota/compatibility dead ends.
+    assignment
+        .into_iter()
+        .enumerate()
+        .map(|(t, a)| a.unwrap_or_else(|| profiles[t].best().0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn profile(name: &str, cpu: f64, gpu: f64, nnapi: f64) -> TaskProfile {
+        TaskProfile::new(name, [Some(cpu), Some(gpu), Some(nnapi)])
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        assert_eq!(round_proportions(&[0.4, 0.1, 0.5], 3), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rounding_conserves_task_count() {
+        for (c, m) in [
+            (vec![0.33, 0.33, 0.34], 7),
+            (vec![1.0, 0.0, 0.0], 4),
+            (vec![0.5, 0.5], 5),
+            (vec![0.2, 0.2, 0.2, 0.2, 0.2], 3),
+        ] {
+            let counts = round_proportions(&c, m);
+            assert_eq!(counts.iter().sum::<usize>(), m, "c = {c:?}");
+        }
+    }
+
+    #[test]
+    fn remainder_goes_to_highest_usage() {
+        // floors: [0, 0, 1]; remainder 2 goes to resources sorted by usage
+        // (idx 2 already has its floor, order is [2, 0, 1]).
+        let counts = round_proportions(&[0.34, 0.16, 0.5], 2);
+        assert_eq!(counts.iter().sum::<usize>(), 2);
+        assert!(counts[2] >= 1);
+    }
+
+    #[test]
+    fn greedy_respects_quota() {
+        let profiles = vec![
+            profile("a", 40.0, 30.0, 10.0),
+            profile("b", 20.0, 15.0, 25.0),
+            profile("c", 12.0, 30.0, 40.0),
+        ];
+        // All tasks on CPU.
+        let alloc = allocate_tasks(&[1.0, 0.0, 0.0], &profiles);
+        assert!(alloc.iter().all(|&d| d == Delegate::Cpu));
+    }
+
+    #[test]
+    fn greedy_prefers_low_latency_pairs() {
+        // One slot per resource; task a's NNAPI 10 ms is the global best
+        // pair, then c's CPU 12 ms, leaving b the GPU.
+        let profiles = vec![
+            profile("a", 40.0, 30.0, 10.0),
+            profile("b", 20.0, 15.0, 25.0),
+            profile("c", 12.0, 30.0, 40.0),
+        ];
+        let third = 1.0 / 3.0;
+        let alloc = allocate_tasks(&[third, third, third], &profiles);
+        assert_eq!(alloc, vec![Delegate::Nnapi, Delegate::Gpu, Delegate::Cpu]);
+    }
+
+    #[test]
+    fn na_pairs_are_never_allocated() {
+        let profiles = vec![
+            TaskProfile::new("na-nnapi", [Some(50.0), Some(20.0), None]),
+            profile("b", 20.0, 15.0, 5.0),
+        ];
+        // Even with all quota on NNAPI, the NA task must land elsewhere.
+        let alloc = allocate_tasks(&[0.0, 0.0, 1.0], &profiles);
+        assert_ne!(alloc[0], Delegate::Nnapi);
+        assert_eq!(alloc[1], Delegate::Nnapi);
+    }
+
+    #[test]
+    fn fallback_when_queue_drains() {
+        // Quota demands both tasks on NNAPI but neither supports it: both
+        // fall back to their individually best resource.
+        let profiles = vec![
+            TaskProfile::new("x", [Some(10.0), Some(20.0), None]),
+            TaskProfile::new("y", [Some(30.0), Some(5.0), None]),
+        ];
+        let alloc = allocate_tasks(&[0.0, 0.0, 1.0], &profiles);
+        assert_eq!(alloc, vec![Delegate::Cpu, Delegate::Gpu]);
+    }
+
+    #[test]
+    fn single_task_goes_to_dominant_resource() {
+        let profiles = vec![profile("solo", 30.0, 20.0, 10.0)];
+        let alloc = allocate_tasks(&[0.0, 1.0, 0.0], &profiles);
+        assert_eq!(alloc, vec![Delegate::Gpu]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one usage per resource")]
+    fn wrong_c_length_panics() {
+        allocate_tasks(&[1.0], &[profile("a", 1.0, 1.0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn every_task_placed_exactly_once(
+            c0 in 0.0f64..1.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0,
+            lat in prop::collection::vec((1.0f64..100.0, 1.0f64..100.0, 1.0f64..100.0), 1..8),
+        ) {
+            let sum = (c0 + c1 + c2).max(1e-9);
+            let c = [c0 / sum, c1 / sum, c2 / sum];
+            let profiles: Vec<TaskProfile> = lat
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b, n))| profile(&format!("t{i}"), a, b, n))
+                .collect();
+            let alloc = allocate_tasks(&c, &profiles);
+            prop_assert_eq!(alloc.len(), profiles.len());
+            // Quota respected: no resource exceeds its rounded count
+            // (fallback can only fire when quota is unusable, and with
+            // fully-supported tasks it never fires).
+            let counts = round_proportions(&c, profiles.len());
+            for d in Delegate::ALL {
+                let used = alloc.iter().filter(|&&x| x == d).count();
+                prop_assert!(used <= counts[d.index()], "{:?} used {} > quota {}", d, used, counts[d.index()]);
+            }
+        }
+
+        #[test]
+        fn na_patterns_never_violate_compatibility(
+            c0 in 0.0f64..1.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0,
+            masks in prop::collection::vec(1u8..8, 1..8),
+        ) {
+            // Random support masks (bit i = resource i supported, never 0).
+            let sum = (c0 + c1 + c2).max(1e-9);
+            let c = [c0 / sum, c1 / sum, c2 / sum];
+            let profiles: Vec<TaskProfile> = masks
+                .iter()
+                .enumerate()
+                .map(|(i, &mask)| {
+                    let lat = |bit: u8, l: f64| (mask & bit != 0).then_some(l);
+                    TaskProfile::new(
+                        format!("t{i}"),
+                        [
+                            lat(1, 10.0 + i as f64),
+                            lat(2, 20.0 - i as f64),
+                            lat(4, 15.0),
+                        ],
+                    )
+                })
+                .collect();
+            let alloc = allocate_tasks(&c, &profiles);
+            prop_assert_eq!(alloc.len(), profiles.len());
+            for (p, d) in profiles.iter().zip(&alloc) {
+                prop_assert!(p.supports(*d), "{} assigned to unsupported {}", p.name(), d);
+            }
+        }
+
+        #[test]
+        fn rounding_never_loses_tasks(c in prop::collection::vec(0.0f64..1.0, 1..6), m in 1usize..20) {
+            let sum: f64 = c.iter().sum::<f64>().max(1e-9);
+            let c: Vec<f64> = c.iter().map(|v| v / sum).collect();
+            let counts = round_proportions(&c, m);
+            prop_assert_eq!(counts.iter().sum::<usize>(), m);
+        }
+    }
+}

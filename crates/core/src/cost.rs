@@ -1,0 +1,97 @@
+//! The HBO performance objective: Eq. (3)–(5).
+
+/// Average normalized AI latency `ε_t` — Eq. (4): the mean of
+/// `(τ_m − τ^e_m) / τ^e_m` across tasks, where `τ^e_m` is the expected
+/// (isolated, best-resource) latency.
+///
+/// Zero means every task runs as fast as it possibly can; `1.0` means
+/// tasks take on average twice their expected latency. Values below zero
+/// are possible in principle but clamped at `0` per task (a task cannot
+/// meaningfully beat its isolated optimum; tiny negative measurement noise
+/// would otherwise leak into the reward).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, are empty, or any expected
+/// latency is not positive.
+///
+/// # Example
+///
+/// ```
+/// let eps = hbo_core::normalized_latency(&[20.0, 30.0], &[10.0, 30.0]);
+/// assert!((eps - 0.5).abs() < 1e-12); // task 1 at 2x expected, task 2 on time
+/// ```
+pub fn normalized_latency(measured_ms: &[f64], expected_ms: &[f64]) -> f64 {
+    assert_eq!(
+        measured_ms.len(),
+        expected_ms.len(),
+        "one measurement per task required"
+    );
+    assert!(!measured_ms.is_empty(), "no tasks to average over");
+    let mut sum = 0.0;
+    for (&m, &e) in measured_ms.iter().zip(expected_ms) {
+        assert!(e > 0.0 && e.is_finite(), "invalid expected latency: {e}");
+        assert!(m.is_finite() && m >= 0.0, "invalid measured latency: {m}");
+        sum += ((m - e) / e).max(0.0);
+    }
+    sum / measured_ms.len() as f64
+}
+
+/// The reward `B_t = Q_t − w · ε_t` — Eq. (3).
+pub fn reward(quality: f64, epsilon: f64, w: f64) -> f64 {
+    quality - w * epsilon
+}
+
+/// The BO cost `φ = −B_t` — Eq. (5).
+pub fn cost(quality: f64, epsilon: f64, w: f64) -> f64 {
+    -reward(quality, epsilon, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_latency_is_zero_epsilon() {
+        assert_eq!(normalized_latency(&[10.0, 20.0], &[10.0, 20.0]), 0.0);
+    }
+
+    #[test]
+    fn epsilon_averages_over_tasks() {
+        // (30-10)/10 = 2.0 and (20-20)/20 = 0 => mean 1.0.
+        assert!((normalized_latency(&[30.0, 20.0], &[10.0, 20.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_than_expected_clamps_to_zero() {
+        assert_eq!(normalized_latency(&[5.0], &[10.0]), 0.0);
+    }
+
+    #[test]
+    fn reward_and_cost_are_negatives() {
+        let (q, e, w) = (0.9, 0.4, 2.5);
+        assert_eq!(reward(q, e, w), 0.9 - 1.0);
+        assert_eq!(cost(q, e, w), -reward(q, e, w));
+    }
+
+    #[test]
+    fn weight_trades_latency_for_quality() {
+        // At w = 0 only quality matters; at large w latency dominates.
+        let low_q_fast = reward(0.5, 0.0, 2.5);
+        let high_q_slow = reward(1.0, 0.4, 2.5);
+        assert!(low_q_fast > high_q_slow);
+        assert!(reward(1.0, 0.4, 0.0) > reward(0.5, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one measurement per task")]
+    fn mismatched_lengths_panic() {
+        normalized_latency(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no tasks")]
+    fn empty_panics() {
+        normalized_latency(&[], &[]);
+    }
+}

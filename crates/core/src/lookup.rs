@@ -1,0 +1,208 @@
+//! The lookup-table extension sketched in Section VI ("Dynamic
+//! Environment"): memoize environmental conditions → chosen configuration,
+//! and skip an activation when the current conditions approximately match
+//! a stored entry.
+
+use std::collections::HashMap;
+
+use nnmodel::Delegate;
+use serde::{Deserialize, Serialize};
+
+/// Quantized environmental conditions, as the paper proposes: "maximum
+/// triangle count, average distances, and task configurations".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LookupKey {
+    /// Fingerprint of the taskset (names + counts).
+    pub taskset: u64,
+    /// `T^max` bucket (log-quantized).
+    pub tmax_bucket: u32,
+    /// User-distance bucket.
+    pub distance_bucket: u32,
+}
+
+impl LookupKey {
+    /// Builds a key from raw conditions.
+    ///
+    /// Triangle counts are bucketed logarithmically (quarter-octaves) and
+    /// distance in 0.25 m steps, so "closely resembling" conditions share
+    /// a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tmax == 0` or `distance <= 0`.
+    pub fn quantize(taskset: u64, tmax: u64, distance: f64) -> Self {
+        assert!(tmax > 0, "empty scene has no key");
+        assert!(distance > 0.0 && distance.is_finite(), "invalid distance");
+        LookupKey {
+            taskset,
+            tmax_bucket: (4.0 * (tmax as f64).log2()).round() as u32,
+            distance_bucket: (distance / 0.25).round() as u32,
+        }
+    }
+
+    /// Fingerprints a taskset from its task names (order-insensitive).
+    pub fn fingerprint_taskset<'a>(names: impl Iterator<Item = &'a str>) -> u64 {
+        let mut acc: u64 = 0;
+        for name in names {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            acc = acc.wrapping_add(h); // commutative: order-insensitive
+        }
+        acc
+    }
+}
+
+/// A stored solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredConfig {
+    /// Resource-usage proportions `c`.
+    pub c: Vec<f64>,
+    /// Triangle ratio `x`.
+    pub x: f64,
+    /// Concrete per-task allocation.
+    pub allocation: Vec<Delegate>,
+    /// The reward the configuration achieved when stored.
+    pub reward: f64,
+}
+
+/// The memoization table.
+///
+/// # Example
+///
+/// ```
+/// use hbo_core::{LookupKey, LookupTable};
+///
+/// let mut table = LookupTable::new();
+/// let key = LookupKey::quantize(42, 1_000_000, 1.2);
+/// assert!(table.find(&key).is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LookupTable {
+    entries: HashMap<LookupKey, StoredConfig>,
+}
+
+impl LookupTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LookupTable::default()
+    }
+
+    /// Number of stored conditions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores (or overwrites) the solution for a condition, keeping the
+    /// better-reward entry on collision.
+    pub fn store(&mut self, key: LookupKey, config: StoredConfig) {
+        match self.entries.get(&key) {
+            Some(existing) if existing.reward >= config.reward => {}
+            _ => {
+                self.entries.insert(key, config);
+            }
+        }
+    }
+
+    /// Exact-bucket lookup.
+    pub fn find(&self, key: &LookupKey) -> Option<&StoredConfig> {
+        self.entries.get(key)
+    }
+
+    /// Fuzzy lookup: accepts a stored condition whose buckets differ by at
+    /// most one step in `T^max` and distance (same taskset), preferring
+    /// the exact match and then the highest stored reward.
+    pub fn find_similar(&self, key: &LookupKey) -> Option<&StoredConfig> {
+        if let Some(exact) = self.find(key) {
+            return Some(exact);
+        }
+        self.entries
+            .iter()
+            .filter(|(k, _)| {
+                k.taskset == key.taskset
+                    && k.tmax_bucket.abs_diff(key.tmax_bucket) <= 1
+                    && k.distance_bucket.abs_diff(key.distance_bucket) <= 1
+            })
+            .max_by(|a, b| a.1.reward.total_cmp(&b.1.reward))
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(reward: f64) -> StoredConfig {
+        StoredConfig {
+            c: vec![0.3, 0.2, 0.5],
+            x: 0.8,
+            allocation: vec![Delegate::Nnapi],
+            reward,
+        }
+    }
+
+    #[test]
+    fn quantization_groups_similar_conditions() {
+        let a = LookupKey::quantize(1, 1_000_000, 1.2);
+        let b = LookupKey::quantize(1, 1_020_000, 1.21);
+        assert_eq!(a, b);
+        let far = LookupKey::quantize(1, 2_000_000, 1.2);
+        assert_ne!(a, far);
+    }
+
+    #[test]
+    fn taskset_fingerprint_is_order_insensitive() {
+        let a = LookupKey::fingerprint_taskset(["mnist", "mobilenet"].into_iter());
+        let b = LookupKey::fingerprint_taskset(["mobilenet", "mnist"].into_iter());
+        assert_eq!(a, b);
+        let c = LookupKey::fingerprint_taskset(["mnist"].into_iter());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn store_and_find() {
+        let mut t = LookupTable::new();
+        let key = LookupKey::quantize(1, 500_000, 1.0);
+        t.store(key, config(0.7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find(&key).unwrap().reward, 0.7);
+    }
+
+    #[test]
+    fn collisions_keep_the_better_reward() {
+        let mut t = LookupTable::new();
+        let key = LookupKey::quantize(1, 500_000, 1.0);
+        t.store(key, config(0.7));
+        t.store(key, config(0.3));
+        assert_eq!(t.find(&key).unwrap().reward, 0.7);
+        t.store(key, config(0.9));
+        assert_eq!(t.find(&key).unwrap().reward, 0.9);
+    }
+
+    #[test]
+    fn fuzzy_lookup_accepts_neighbours() {
+        let mut t = LookupTable::new();
+        let stored = LookupKey::quantize(1, 1_000_000, 1.0);
+        t.store(stored, config(0.8));
+        // One distance bucket over.
+        let probe = LookupKey {
+            distance_bucket: stored.distance_bucket + 1,
+            ..stored
+        };
+        assert!(t.find(&probe).is_none());
+        assert_eq!(t.find_similar(&probe).unwrap().reward, 0.8);
+        // Different taskset never matches.
+        let other = LookupKey {
+            taskset: 2,
+            ..stored
+        };
+        assert!(t.find_similar(&other).is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Static per-task latency profiles (the priority queue input `P` of
+//! Algorithm 1, and the `τ^e` reference of Eq. 4).
+
+use nnmodel::{Delegate, Model};
+use serde::{Deserialize, Serialize};
+
+/// One AI task's isolated latency on each resource, profiled one time with
+/// no other AI tasks and no virtual objects (Section IV-C: "a one-time
+/// operation, thus incurring little inconvenience to the user").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    name: String,
+    /// Isolated latency (ms) indexed by [`Delegate::index`];
+    /// `None` = incompatible (NA).
+    latency_ms: [Option<f64>; Delegate::COUNT],
+}
+
+impl TaskProfile {
+    /// Creates a profile from per-resource latencies in
+    /// `[CPU, GPU, NNAPI]` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every entry is `None` or any latency is not positive.
+    pub fn new(name: impl Into<String>, latency_ms: [Option<f64>; Delegate::COUNT]) -> Self {
+        assert!(
+            latency_ms.iter().any(Option::is_some),
+            "task must support at least one resource"
+        );
+        for l in latency_ms.iter().flatten() {
+            assert!(l.is_finite() && *l > 0.0, "invalid latency: {l}");
+        }
+        TaskProfile {
+            name: name.into(),
+            latency_ms,
+        }
+    }
+
+    /// Builds the profile of one instance of a calibrated model.
+    pub fn from_model(model: &Model) -> Self {
+        let mut latency_ms = [None; Delegate::COUNT];
+        for d in Delegate::ALL {
+            latency_ms[d.index()] = model.isolated_ms(d);
+        }
+        TaskProfile::new(model.name(), latency_ms)
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Isolated latency on `delegate`, or `None` if incompatible.
+    pub fn latency_on(&self, delegate: Delegate) -> Option<f64> {
+        self.latency_ms[delegate.index()]
+    }
+
+    /// True if the task can run on `delegate`.
+    pub fn supports(&self, delegate: Delegate) -> bool {
+        self.latency_on(delegate).is_some()
+    }
+
+    /// The most suitable resource and its latency — `τ^e` of Eq. (4).
+    pub fn best(&self) -> (Delegate, f64) {
+        Delegate::ALL
+            .into_iter()
+            .filter_map(|d| self.latency_on(d).map(|l| (d, l)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("profile supports at least one resource")
+    }
+
+    /// The expected latency `τ^e` (lowest isolated latency).
+    pub fn expected_latency(&self) -> f64 {
+        self.best().1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_and_expected() {
+        let p = TaskProfile::new("t", [Some(40.0), Some(30.0), Some(10.0)]);
+        assert_eq!(p.best(), (Delegate::Nnapi, 10.0));
+        assert_eq!(p.expected_latency(), 10.0);
+        assert_eq!(p.name(), "t");
+    }
+
+    #[test]
+    fn na_resources() {
+        let p = TaskProfile::new("t", [Some(40.0), None, Some(10.0)]);
+        assert!(!p.supports(Delegate::Gpu));
+        assert_eq!(p.latency_on(Delegate::Gpu), None);
+        assert_eq!(p.best().0, Delegate::Nnapi);
+    }
+
+    #[test]
+    fn from_model_matches_table() {
+        let zoo = nnmodel::ModelZoo::pixel7();
+        let p = TaskProfile::from_model(zoo.get("inception-v1-q").unwrap());
+        assert_eq!(p.latency_on(Delegate::Nnapi), Some(8.7));
+        assert_eq!(p.latency_on(Delegate::Gpu), Some(60.8));
+        assert_eq!(p.best().0, Delegate::Nnapi);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn all_na_panics() {
+        TaskProfile::new("t", [None, None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latency")]
+    fn negative_latency_panics() {
+        TaskProfile::new("t", [Some(-1.0), None, None]);
+    }
+}

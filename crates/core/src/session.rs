@@ -1,0 +1,451 @@
+//! The full HBO runtime protocol as a reusable, environment-agnostic
+//! state machine.
+//!
+//! [`HboController`] covers one activation; a *session* is what actually
+//! runs inside an app: monitor the reward at a fixed interval, decide when
+//! to activate (Section IV-E), run the activation's evaluate–observe loop
+//! (Algorithm 1), re-measure a reference after applying the winner, and —
+//! optionally — memoize solutions per environmental condition
+//! (Section VI). The `marsim` crate drives a simulated app with exactly
+//! this protocol; [`HboSession`] packages it for any embedder (a real
+//! Android runtime would call it from its monitoring timer).
+//!
+//! The session is a strict state machine. Each state expects one call:
+//!
+//! | state | expected call | possible outputs |
+//! |---|---|---|
+//! | `Monitoring` | [`HboSession::on_monitor`] | `Hold`, `Evaluate(point)`, `Reuse(config)` |
+//! | `Evaluating` | [`HboSession::on_measured`] | `Evaluate(next)`, `Commit(best)` |
+//! | `AwaitReference` | [`HboSession::on_reference`] | `Hold` |
+//!
+//! # Example
+//!
+//! ```
+//! use hbo_core::{HboConfig, HboSession, SessionConfig, SessionStep, TaskProfile};
+//! use rand::SeedableRng;
+//!
+//! let profiles = vec![
+//!     TaskProfile::new("a", [Some(40.0), Some(30.0), Some(10.0)]),
+//!     TaskProfile::new("b", [Some(20.0), Some(15.0), Some(25.0)]),
+//! ];
+//! let mut session = HboSession::new(profiles, SessionConfig::default());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//!
+//! // A fake environment: quality follows x, latency follows the CPU share.
+//! let measure = |p: &hbo_core::HboPoint| (p.x, 0.2 * p.c[0]);
+//!
+//! // First monitoring sample always activates (first placement).
+//! let mut step = session.on_monitor(0.5, None, &mut rng);
+//! let mut guard = 0;
+//! while let SessionStep::Evaluate(point) = step {
+//!     let (q, eps) = measure(&point);
+//!     step = session.on_measured(point, q, eps, &mut rng);
+//!     guard += 1;
+//!     assert!(guard < 100);
+//! }
+//! let SessionStep::Commit(best) = step else { panic!("activation ends in Commit") };
+//! let (q, eps) = measure(&best);
+//! session.on_reference(q - 2.5 * eps);
+//! // Back to monitoring: a steady reward holds.
+//! assert!(matches!(
+//!     session.on_monitor(q - 2.5 * eps, None, &mut rng),
+//!     SessionStep::Hold
+//! ));
+//! ```
+
+use nnmodel::Delegate;
+use rand::RngCore;
+
+use crate::activation::{ActivationDecision, ActivationPolicy};
+use crate::algorithm::{HboConfig, HboController, HboPoint};
+use crate::lookup::{LookupKey, LookupTable, StoredConfig};
+use crate::profile::TaskProfile;
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The per-activation algorithm configuration.
+    pub hbo: HboConfig,
+    /// The event-based monitoring policy.
+    pub policy: ActivationPolicy,
+    /// Enable the Section VI lookup table: activations store their
+    /// solution per condition key, and later triggers with a similar key
+    /// reuse it instead of exploring.
+    pub lookup: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            hbo: HboConfig::default(),
+            policy: ActivationPolicy::paper_default(),
+            lookup: false,
+        }
+    }
+}
+
+/// What the embedder must do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionStep {
+    /// Keep the current configuration; call [`HboSession::on_monitor`]
+    /// again at the next monitoring interval.
+    Hold,
+    /// Apply this configuration, measure `(Q, ε)` over one control period,
+    /// and report via [`HboSession::on_measured`].
+    Evaluate(HboPoint),
+    /// The activation finished: apply this winning configuration, measure
+    /// a settled reward, and report it via [`HboSession::on_reference`].
+    Commit(HboPoint),
+    /// A stored solution matches the current conditions: apply it, measure
+    /// a settled reward, and report via [`HboSession::on_reference`] — no
+    /// exploration needed.
+    Reuse(HboPoint),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Monitoring,
+    Evaluating,
+    AwaitReference,
+}
+
+/// The session state machine. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct HboSession {
+    controller: HboController,
+    policy: ActivationPolicy,
+    lookup: Option<LookupTable>,
+    state: State,
+    /// Condition key captured when the in-flight activation triggered.
+    active_key: Option<LookupKey>,
+    /// Activations completed (exploration runs, not reuses).
+    activations: usize,
+    /// Lookup reuses performed.
+    reuses: usize,
+}
+
+impl HboSession {
+    /// Creates a session in the `Monitoring` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty (via [`HboController::new`]).
+    pub fn new(profiles: Vec<TaskProfile>, config: SessionConfig) -> Self {
+        let lookup = config.lookup.then(LookupTable::new);
+        HboSession {
+            controller: HboController::new(profiles, config.hbo),
+            policy: config.policy,
+            lookup,
+            state: State::Monitoring,
+            active_key: None,
+            activations: 0,
+            reuses: 0,
+        }
+    }
+
+    /// Number of full (exploring) activations completed.
+    pub fn activations(&self) -> usize {
+        self.activations
+    }
+
+    /// Number of lookup reuses performed.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// The underlying controller (e.g. for its iteration records).
+    pub fn controller(&self) -> &HboController {
+        &self.controller
+    }
+
+    /// Seeds the upcoming activation's dataset with the configuration
+    /// currently running, so the activation can never converge below the
+    /// incumbent. Call right after a [`SessionStep::Evaluate`] kick-off is
+    /// *not* needed — instead call this before reporting the first
+    /// measurement, passing the incumbent's allocation and ratio plus its
+    /// measured `(Q, ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the session is `Evaluating`.
+    pub fn seed_incumbent(
+        &mut self,
+        allocation: Vec<Delegate>,
+        x: f64,
+        quality: f64,
+        epsilon: f64,
+    ) {
+        assert_eq!(
+            self.state,
+            State::Evaluating,
+            "incumbent seeding only applies to a running activation"
+        );
+        let point = self.controller.incumbent_point(allocation, x);
+        self.controller.observe(point, quality, epsilon);
+    }
+
+    /// One monitoring sample of the live reward `B_t`, with the current
+    /// environmental conditions (required for lookup reuse/storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the session is `Monitoring`.
+    pub fn on_monitor(
+        &mut self,
+        reward: f64,
+        key: Option<LookupKey>,
+        rng: &mut dyn RngCore,
+    ) -> SessionStep {
+        assert_eq!(self.state, State::Monitoring, "unexpected on_monitor");
+        match self.policy.check(reward) {
+            ActivationDecision::Hold => SessionStep::Hold,
+            ActivationDecision::Activate(_) => {
+                // Try the memoized solution first.
+                if let (Some(table), Some(k)) = (&self.lookup, key) {
+                    if let Some(stored) = table.find_similar(&k) {
+                        self.reuses += 1;
+                        self.state = State::AwaitReference;
+                        self.active_key = Some(k);
+                        let point = HboPoint {
+                            z: {
+                                let mut z = stored.c.clone();
+                                z.push(stored.x);
+                                z
+                            },
+                            c: stored.c.clone(),
+                            x: stored.x,
+                            allocation: stored.allocation.clone(),
+                        };
+                        return SessionStep::Reuse(point);
+                    }
+                }
+                self.active_key = key;
+                self.controller.reset_activation();
+                self.state = State::Evaluating;
+                SessionStep::Evaluate(self.controller.next_point(rng))
+            }
+        }
+    }
+
+    /// Reports the measured `(Q, ε)` of the configuration handed out by
+    /// the last [`SessionStep::Evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the session is `Evaluating`.
+    pub fn on_measured(
+        &mut self,
+        point: HboPoint,
+        quality: f64,
+        epsilon: f64,
+        rng: &mut dyn RngCore,
+    ) -> SessionStep {
+        assert_eq!(self.state, State::Evaluating, "unexpected on_measured");
+        self.controller.observe(point, quality, epsilon);
+        if self.controller.is_done() {
+            self.activations += 1;
+            self.state = State::AwaitReference;
+            let best = self
+                .controller
+                .best()
+                .expect("activation ran at least one iteration")
+                .point
+                .clone();
+            SessionStep::Commit(best)
+        } else {
+            SessionStep::Evaluate(self.controller.next_point(rng))
+        }
+    }
+
+    /// Reports the settled reward of the committed (or reused)
+    /// configuration: it becomes the policy's new reference, and — when
+    /// the lookup table is enabled and conditions were provided — the
+    /// solution is stored under the activation's condition key.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the session is `AwaitReference`.
+    pub fn on_reference(&mut self, reward: f64) {
+        assert_eq!(self.state, State::AwaitReference, "unexpected on_reference");
+        self.policy.set_reference(reward);
+        if let (Some(table), Some(key)) = (&mut self.lookup, self.active_key) {
+            if let Some(best) = self.controller.best() {
+                table.store(
+                    key,
+                    StoredConfig {
+                        c: best.point.c.clone(),
+                        x: best.point.x,
+                        allocation: best.point.allocation.clone(),
+                        reward,
+                    },
+                );
+            }
+        }
+        self.active_key = None;
+        self.state = State::Monitoring;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn profiles() -> Vec<TaskProfile> {
+        vec![
+            TaskProfile::new("gpuish", [Some(25.0), Some(12.0), Some(40.0)]),
+            TaskProfile::new("nnapish", [Some(40.0), Some(30.0), Some(10.0)]),
+        ]
+    }
+
+    fn quick() -> SessionConfig {
+        let mut policy = ActivationPolicy::paper_default();
+        policy.debounce = 1; // tests drive single decisive samples
+        SessionConfig {
+            hbo: HboConfig {
+                n_initial: 2,
+                iterations: 3,
+                ..HboConfig::default()
+            },
+            policy,
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Synthetic environment: quality = x, latency penalty on NNAPI share.
+    fn measure(p: &HboPoint) -> (f64, f64) {
+        let nnapi = p.c[Delegate::Nnapi.index()];
+        (p.x, 0.1 + 0.5 * nnapi)
+    }
+
+    fn drive_activation(session: &mut HboSession, first: SessionStep) -> HboPoint {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut step = first;
+        loop {
+            match step {
+                SessionStep::Evaluate(point) => {
+                    let (q, e) = measure(&point);
+                    step = session.on_measured(point, q, e, &mut rng);
+                }
+                SessionStep::Commit(best) | SessionStep::Reuse(best) => return best,
+                SessionStep::Hold => panic!("activation cannot hold"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_protocol_round_trip() {
+        let mut session = HboSession::new(profiles(), quick());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // First sample activates.
+        let step = session.on_monitor(0.4, None, &mut rng);
+        assert!(matches!(step, SessionStep::Evaluate(_)));
+        let best = drive_activation(&mut session, step);
+        let (q, e) = measure(&best);
+        session.on_reference(q - 2.5 * e);
+        assert_eq!(session.activations(), 1);
+        // Steady reward holds.
+        assert_eq!(
+            session.on_monitor(q - 2.5 * e, None, &mut rng),
+            SessionStep::Hold
+        );
+    }
+
+    #[test]
+    fn evaluation_count_matches_budget() {
+        let mut session = HboSession::new(profiles(), quick());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut evaluations = 0;
+        let mut step = session.on_monitor(0.0, None, &mut rng);
+        while let SessionStep::Evaluate(point) = step {
+            evaluations += 1;
+            let (q, e) = measure(&point);
+            step = session.on_measured(point, q, e, &mut rng);
+        }
+        assert_eq!(evaluations, 5); // 2 initial + 3 BO iterations
+        assert!(matches!(step, SessionStep::Commit(_)));
+    }
+
+    #[test]
+    fn incumbent_seeding_counts_as_an_iteration() {
+        let mut session = HboSession::new(profiles(), quick());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let step = session.on_monitor(0.0, None, &mut rng);
+        let SessionStep::Evaluate(first) = step else { panic!() };
+        session.seed_incumbent(vec![Delegate::Gpu, Delegate::Nnapi], 1.0, 1.0, 0.35);
+        let mut evaluations = 1;
+        let mut step = {
+            let (q, e) = measure(&first);
+            session.on_measured(first, q, e, &mut rng)
+        };
+        while let SessionStep::Evaluate(point) = step {
+            evaluations += 1;
+            let (q, e) = measure(&point);
+            step = session.on_measured(point, q, e, &mut rng);
+        }
+        // One slot of the budget was consumed by the incumbent.
+        assert_eq!(evaluations, 4);
+    }
+
+    #[test]
+    fn lookup_reuses_on_similar_conditions() {
+        let mut config = quick();
+        config.lookup = true;
+        let mut session = HboSession::new(profiles(), config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let key = LookupKey::quantize(7, 500_000, 1.2);
+
+        // First activation under these conditions: full exploration.
+        let step = session.on_monitor(0.0, Some(key), &mut rng);
+        assert!(matches!(step, SessionStep::Evaluate(_)));
+        let best = drive_activation(&mut session, step);
+        let (q, e) = measure(&best);
+        session.on_reference(q - 2.5 * e);
+        assert_eq!(session.activations(), 1);
+        assert_eq!(session.reuses(), 0);
+
+        // Conditions drift enough to trigger, but the key is similar:
+        // the stored solution is reused without exploration.
+        let near = LookupKey::quantize(7, 510_000, 1.2);
+        let step = session.on_monitor(-10.0, Some(near), &mut rng);
+        let SessionStep::Reuse(reused) = step else {
+            panic!("expected reuse, got {step:?}");
+        };
+        assert_eq!(reused.allocation, best.allocation);
+        session.on_reference(q - 2.5 * e);
+        assert_eq!(session.activations(), 1);
+        assert_eq!(session.reuses(), 1);
+    }
+
+    #[test]
+    fn different_conditions_explore_again() {
+        let mut config = quick();
+        config.lookup = true;
+        let mut session = HboSession::new(profiles(), config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let key_a = LookupKey::quantize(7, 500_000, 1.0);
+        let key_b = LookupKey::quantize(7, 4_000_000, 3.0);
+
+        let step = session.on_monitor(0.0, Some(key_a), &mut rng);
+        let best = drive_activation(&mut session, step);
+        let (q, e) = measure(&best);
+        session.on_reference(q - 2.5 * e);
+
+        let step = session.on_monitor(-10.0, Some(key_b), &mut rng);
+        assert!(matches!(step, SessionStep::Evaluate(_)), "new conditions explore");
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected on_measured")]
+    fn out_of_order_calls_panic() {
+        let mut session = HboSession::new(profiles(), quick());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let point = HboPoint {
+            z: vec![1.0, 0.0, 0.0, 1.0],
+            c: vec![1.0, 0.0, 0.0],
+            x: 1.0,
+            allocation: vec![Delegate::Cpu, Delegate::Cpu],
+        };
+        session.on_measured(point, 1.0, 0.0, &mut rng);
+    }
+}

@@ -1,0 +1,140 @@
+//! Gradient Magnitude Similarity Deviation (Xue, Zhang, Mou, Bovik 2013).
+
+use crate::image::Image;
+
+/// Stability constant of the GMS formula, scaled for pixel values in
+/// `[0, 1]` (the original paper uses `c = 170` for `[0, 255]` images;
+/// `170 / 255² ≈ 0.0026`).
+const GMS_C: f64 = 0.0026;
+
+/// Prewitt gradient magnitude at every pixel.
+fn gradient_magnitude(img: &Image) -> Image {
+    let (w, h) = (img.width(), img.height());
+    Image::from_fn(w, h, |x, y| {
+        let (x, y) = (x as isize, y as isize);
+        let p = |dx: isize, dy: isize| img.get_clamped(x + dx, y + dy);
+        // Prewitt kernels, 1/3-normalized as in the GMSD paper.
+        let gx = (p(1, -1) + p(1, 0) + p(1, 1) - p(-1, -1) - p(-1, 0) - p(-1, 1)) / 3.0;
+        let gy = (p(-1, 1) + p(0, 1) + p(1, 1) - p(-1, -1) - p(0, -1) - p(1, -1)) / 3.0;
+        (gx * gx + gy * gy).sqrt()
+    })
+}
+
+/// The gradient-magnitude-similarity map between a reference and a
+/// distorted image: `GMS = (2 g_r g_d + c) / (g_r² + g_d² + c)`, one value
+/// per pixel in `(0, 1]` (1 = locally identical structure).
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn gms_map(reference: &Image, distorted: &Image) -> Image {
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (distorted.width(), distorted.height()),
+        "image dimensions must match"
+    );
+    let gr = gradient_magnitude(reference);
+    let gd = gradient_magnitude(distorted);
+    Image::from_fn(reference.width(), reference.height(), |x, y| {
+        let r = gr.get(x, y);
+        let d = gd.get(x, y);
+        (2.0 * r * d + GMS_C) / (r * r + d * d + GMS_C)
+    })
+}
+
+/// The GMSD index: the standard deviation of the GMS map. `0` for
+/// identical images; grows with perceptual degradation. A highly efficient
+/// perceptual metric, which is why eAR (and therefore the paper's quality
+/// model) uses it to train Eq. (1).
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+///
+/// # Example
+///
+/// ```
+/// use iqa::{gmsd, Image};
+///
+/// let a = Image::from_fn(16, 16, |x, _| (x % 2) as f64);
+/// let blurred = Image::from_fn(16, 16, |_, _| 0.5);
+/// assert!(gmsd(&a, &a) < 1e-12);
+/// assert!(gmsd(&a, &blurred) > 0.05);
+/// ```
+pub fn gmsd(reference: &Image, distorted: &Image) -> f64 {
+    let map = gms_map(reference, distorted);
+    let mean = map.mean();
+    let var = map
+        .pixels()
+        .iter()
+        .map(|&v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / map.pixels().len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes(w: usize, h: usize, period: usize) -> Image {
+        Image::from_fn(w, h, |x, _| ((x / period) % 2) as f64)
+    }
+
+    #[test]
+    fn identical_images_have_zero_gmsd() {
+        let img = stripes(32, 32, 3);
+        assert!(gmsd(&img, &img) < 1e-12);
+    }
+
+    #[test]
+    fn gmsd_is_symmetric() {
+        let a = stripes(32, 32, 3);
+        let b = stripes(32, 32, 5);
+        assert!((gmsd(&a, &b) - gmsd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_distortion_scores_worse() {
+        let reference = stripes(64, 64, 2);
+        let mild = Image::from_fn(64, 64, |x, y| 0.8 * reference.get(x, y) + 0.1);
+        let severe = Image::from_fn(64, 64, |_, _| 0.5);
+        let g_mild = gmsd(&reference, &mild);
+        let g_severe = gmsd(&reference, &severe);
+        assert!(
+            g_severe > g_mild,
+            "severe ({g_severe}) should exceed mild ({g_mild})"
+        );
+    }
+
+    #[test]
+    fn gms_map_values_in_unit_interval() {
+        let a = stripes(16, 16, 2);
+        let b = stripes(16, 16, 4);
+        let map = gms_map(&a, &b);
+        assert!(map.pixels().iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn flat_images_are_perfectly_similar() {
+        // No gradients anywhere: GMS = c/c = 1 at every pixel.
+        let a = Image::from_fn(8, 8, |_, _| 0.3);
+        let b = Image::from_fn(8, 8, |_, _| 0.9);
+        assert!(gmsd(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn size_mismatch_panics() {
+        gmsd(&Image::new(4, 4), &Image::new(5, 4));
+    }
+
+    #[test]
+    fn gradient_magnitude_flags_edges() {
+        let img = Image::from_fn(8, 8, |x, _| if x < 4 { 0.0 } else { 1.0 });
+        let g = gradient_magnitude(&img);
+        // Strong gradient at the edge column, none far from it.
+        assert!(g.get(4, 4) > 0.5);
+        assert!(g.get(1, 4) < 1e-12);
+    }
+}

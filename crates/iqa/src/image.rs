@@ -1,0 +1,143 @@
+//! Grayscale float images.
+
+/// A grayscale image with `f64` pixels in `[0, 1]` (not enforced — gradient
+/// code tolerates any finite values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut img = Image::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.pixels[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Reads with clamp-to-edge addressing (used by convolution kernels).
+    pub fn get_clamped(&self, x: isize, y: isize) -> f64 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[y * self.width + x]
+    }
+
+    /// The raw pixel buffer, row-major.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Fraction of pixels strictly above `threshold` (useful to measure
+    /// object coverage of the frame).
+    pub fn coverage(&self, threshold: f64) -> f64 {
+        self.pixels.iter().filter(|&&p| p > threshold).count() as f64 / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = Image::new(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert!(img.pixels().iter().all(|&p| p == 0.0));
+        assert_eq!(img.mean(), 0.0);
+    }
+
+    #[test]
+    fn from_fn_and_accessors() {
+        let img = Image::from_fn(3, 2, |x, y| (x + 10 * y) as f64);
+        assert_eq!(img.get(2, 1), 12.0);
+        assert_eq!(img.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut img = Image::new(2, 2);
+        img.set(1, 1, 0.5);
+        assert_eq!(img.get(1, 1), 0.5);
+    }
+
+    #[test]
+    fn clamped_addressing() {
+        let img = Image::from_fn(2, 2, |x, y| (x + 2 * y) as f64);
+        assert_eq!(img.get_clamped(-5, 0), 0.0);
+        assert_eq!(img.get_clamped(10, 10), 3.0);
+    }
+
+    #[test]
+    fn coverage_counts_bright_pixels() {
+        let img = Image::from_fn(2, 2, |x, _| x as f64);
+        assert_eq!(img.coverage(0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        Image::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_size_panics() {
+        Image::new(0, 1);
+    }
+}

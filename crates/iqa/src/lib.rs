@@ -1,0 +1,42 @@
+//! Image-quality substrate: a tiny software rasterizer and the GMSD
+//! perceptual index.
+//!
+//! The paper borrows eAR's virtual-object quality model (Eq. 1), whose
+//! per-object parameters are *trained offline* by comparing renders of
+//! decimated meshes against full-quality renders with an image quality
+//! assessment method — Gradient Magnitude Similarity Deviation
+//! (Xue et al., IEEE TIP 2013). With no GPU or OpenGL available, this crate
+//! supplies the same pipeline in software:
+//!
+//! * [`Image`] — a grayscale float image.
+//! * [`render_mesh`] — perspective projection, backface culling, z-buffered
+//!   barycentric rasterization, Lambertian shading of a triangle mesh.
+//! * [`gmsd`] — the GMSD index between a reference and a distorted image
+//!   (0 = identical; larger = more perceptual degradation).
+//!
+//! # Example
+//!
+//! ```
+//! use iqa::{gmsd, render_mesh, RenderOptions};
+//!
+//! // A unit quad made of two triangles.
+//! let verts = [
+//!     [-0.5, -0.5, 0.0], [0.5, -0.5, 0.0], [0.5, 0.5, 0.0], [-0.5, 0.5, 0.0],
+//! ];
+//! let tris = [[0, 1, 2], [0, 2, 3]];
+//! let opts = RenderOptions::default();
+//! let a = render_mesh(&verts, &tris, &opts);
+//! let b = render_mesh(&verts, &tris, &opts);
+//! assert!(gmsd(&a, &b) < 1e-9); // identical renders have zero deviation
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gms;
+mod image;
+mod raster;
+
+pub use gms::{gms_map, gmsd};
+pub use image::Image;
+pub use raster::{render_mesh, RenderOptions};

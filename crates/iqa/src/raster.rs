@@ -1,0 +1,257 @@
+//! A minimal perspective rasterizer: enough of OpenGL to measure how mesh
+//! decimation degrades a rendered object at a given viewing distance.
+
+use crate::image::Image;
+
+/// Camera and shading parameters for [`render_mesh`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderOptions {
+    /// Output resolution (square image).
+    pub resolution: usize,
+    /// Distance from the camera to the origin, in mesh units. The camera
+    /// sits at `(0, 0, distance)` looking down `-z`.
+    pub distance: f64,
+    /// Vertical field of view in radians.
+    pub fov: f64,
+    /// Directional light (normalized internally).
+    pub light_dir: [f64; 3],
+    /// Ambient light level added to the Lambertian term.
+    pub ambient: f64,
+    /// Cull triangles facing away from the camera (back faces), like
+    /// OpenGL's `GL_CULL_FACE` that the paper's activation policy reasons
+    /// about.
+    pub backface_culling: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            resolution: 160,
+            distance: 3.0,
+            fov: 0.9,
+            light_dir: [0.4, 0.6, 1.0],
+            ambient: 0.15,
+            backface_culling: true,
+        }
+    }
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+fn normalize(v: [f64; 3]) -> [f64; 3] {
+    let n = dot(v, v).sqrt();
+    if n == 0.0 {
+        v
+    } else {
+        [v[0] / n, v[1] / n, v[2] / n]
+    }
+}
+
+/// Renders a triangle mesh to a grayscale image.
+///
+/// `vertices` are world-space positions; `triangles` index into them
+/// (counter-clockwise front faces, as in OpenGL). The camera sits on the
+/// `+z` axis at `opts.distance` looking at the origin.
+///
+/// # Panics
+///
+/// Panics if a triangle index is out of bounds or `opts.resolution == 0`.
+pub fn render_mesh(vertices: &[[f64; 3]], triangles: &[[usize; 3]], opts: &RenderOptions) -> Image {
+    assert!(opts.resolution > 0, "resolution must be positive");
+    let res = opts.resolution;
+    let mut img = Image::new(res, res);
+    let mut zbuf = vec![f64::NEG_INFINITY; res * res];
+    let light = normalize(opts.light_dir);
+    let focal = 1.0 / (opts.fov / 2.0).tan();
+    let half = res as f64 / 2.0;
+
+    // Project a world-space point to (pixel x, pixel y, camera-space z).
+    let project = |p: [f64; 3]| -> Option<[f64; 3]> {
+        let z_cam = opts.distance - p[2]; // distance from camera along view axis
+        if z_cam <= 1e-9 {
+            return None; // behind the camera
+        }
+        let sx = half + focal * p[0] / z_cam * half;
+        let sy = half - focal * p[1] / z_cam * half;
+        Some([sx, sy, -z_cam])
+    };
+
+    for tri in triangles {
+        let [i0, i1, i2] = *tri;
+        let (v0, v1, v2) = (vertices[i0], vertices[i1], vertices[i2]);
+        let normal = normalize(cross(sub(v1, v0), sub(v2, v0)));
+        // View direction from triangle towards the camera (camera on +z).
+        if opts.backface_culling && normal[2] <= 0.0 {
+            continue;
+        }
+        let (Some(p0), Some(p1), Some(p2)) = (project(v0), project(v1), project(v2)) else {
+            continue;
+        };
+        let shade = (opts.ambient + (1.0 - opts.ambient) * dot(normal, light).max(0.0))
+            .clamp(0.0, 1.0);
+
+        // Bounding box clipped to the viewport.
+        let min_x = p0[0].min(p1[0]).min(p2[0]).floor().max(0.0) as usize;
+        let max_x = (p0[0].max(p1[0]).max(p2[0]).ceil() as isize).clamp(0, res as isize - 1) as usize;
+        let min_y = p0[1].min(p1[1]).min(p2[1]).floor().max(0.0) as usize;
+        let max_y = (p0[1].max(p1[1]).max(p2[1]).ceil() as isize).clamp(0, res as isize - 1) as usize;
+        if min_x > max_x || min_y > max_y {
+            continue;
+        }
+
+        let area = (p1[0] - p0[0]) * (p2[1] - p0[1]) - (p2[0] - p0[0]) * (p1[1] - p0[1]);
+        if area.abs() < 1e-12 {
+            continue; // degenerate in screen space
+        }
+
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let px = x as f64 + 0.5;
+                let py = y as f64 + 0.5;
+                let w0 = ((p1[0] - px) * (p2[1] - py) - (p2[0] - px) * (p1[1] - py)) / area;
+                let w1 = ((p2[0] - px) * (p0[1] - py) - (p0[0] - px) * (p2[1] - py)) / area;
+                let w2 = 1.0 - w0 - w1;
+                if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                    continue;
+                }
+                let depth = w0 * p0[2] + w1 * p1[2] + w2 * p2[2];
+                let idx = y * res + x;
+                if depth > zbuf[idx] {
+                    zbuf[idx] = depth;
+                    img.set(x, y, shade);
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A front-facing unit quad at z = 0.
+    fn quad() -> (Vec<[f64; 3]>, Vec<[usize; 3]>) {
+        (
+            vec![
+                [-0.5, -0.5, 0.0],
+                [0.5, -0.5, 0.0],
+                [0.5, 0.5, 0.0],
+                [-0.5, 0.5, 0.0],
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+    }
+
+    #[test]
+    fn renders_something() {
+        let (v, t) = quad();
+        let img = render_mesh(&v, &t, &RenderOptions::default());
+        assert!(img.coverage(0.01) > 0.02, "quad should cover pixels");
+    }
+
+    #[test]
+    fn empty_mesh_renders_black() {
+        let img = render_mesh(&[], &[], &RenderOptions::default());
+        assert_eq!(img.mean(), 0.0);
+    }
+
+    #[test]
+    fn farther_objects_cover_fewer_pixels() {
+        let (v, t) = quad();
+        let near = render_mesh(
+            &v,
+            &t,
+            &RenderOptions {
+                distance: 2.0,
+                ..RenderOptions::default()
+            },
+        );
+        let far = render_mesh(
+            &v,
+            &t,
+            &RenderOptions {
+                distance: 6.0,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(near.coverage(0.01) > 2.0 * far.coverage(0.01));
+    }
+
+    #[test]
+    fn backface_culling_removes_back_faces() {
+        let (v, mut t) = quad();
+        // Reverse winding so the quad faces away.
+        for tri in &mut t {
+            tri.swap(0, 2);
+        }
+        let culled = render_mesh(&v, &t, &RenderOptions::default());
+        assert_eq!(culled.mean(), 0.0);
+        let unculled = render_mesh(
+            &v,
+            &t,
+            &RenderOptions {
+                backface_culling: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(unculled.coverage(0.01) > 0.0);
+    }
+
+    #[test]
+    fn zbuffer_keeps_the_nearer_surface() {
+        // Two quads: a bright one near (z = 0.5, normal towards camera,
+        // bright shading via light) and one behind (z = -0.5).
+        let verts = vec![
+            [-0.5, -0.5, 0.5],
+            [0.5, -0.5, 0.5],
+            [0.5, 0.5, 0.5],
+            [-0.5, 0.5, 0.5],
+            [-0.5, -0.5, -0.5],
+            [0.5, -0.5, -0.5],
+            [0.5, 0.5, -0.5],
+            [-0.5, 0.5, -0.5],
+        ];
+        let tris = vec![[0, 1, 2], [0, 2, 3], [4, 5, 6], [4, 6, 7]];
+        let img = render_mesh(&verts, &tris, &RenderOptions::default());
+        // Both quads have the same normal and shade; ensure center pixel is
+        // shaded (front quad visible) and deterministic regardless of order.
+        let tris_rev: Vec<[usize; 3]> = tris.iter().rev().cloned().collect();
+        let img_rev = render_mesh(&verts, &tris_rev, &RenderOptions::default());
+        assert_eq!(img, img_rev);
+    }
+
+    #[test]
+    fn behind_camera_geometry_is_skipped() {
+        let verts = vec![[0.0, 0.0, 10.0], [1.0, 0.0, 10.0], [0.0, 1.0, 10.0]];
+        let img = render_mesh(
+            &verts,
+            &[[0, 1, 2]],
+            &RenderOptions {
+                distance: 3.0,
+                ..RenderOptions::default()
+            },
+        );
+        assert_eq!(img.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_index_panics() {
+        render_mesh(&[[0.0; 3]], &[[0, 1, 2]], &RenderOptions::default());
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline isolated profiling — the measurement behind Table I and the
+//! `τ^e` references of Eq. (4).
+//!
+//! Each `(model, delegate)` pair runs alone on a fresh simulated SoC with
+//! no virtual objects and no other AI tasks, exactly as the paper profiles
+//! devices "one time … directly on the user device".
+
+use nnmodel::{Delegate, Model, ModelZoo};
+use simcore::{SimDuration, SimTime};
+use soc::{DeviceProfile, SocSim, StreamSpec};
+
+/// How long each isolated measurement runs (simulated seconds).
+const PROFILE_SECS: f64 = 3.0;
+
+/// Measures the isolated latency of one model on one delegate, in
+/// milliseconds. Returns `None` for incompatible (NA) pairs.
+pub fn isolated_latency(
+    device: &DeviceProfile,
+    model: &Model,
+    delegate: Delegate,
+) -> Option<f64> {
+    let (topo, procs) = device.topology();
+    let plan = model.plan(delegate, device, procs)?;
+    let mut sim = SocSim::new(topo);
+    let stream = sim.add_stream(
+        StreamSpec::new(plan, SimDuration::from_millis_f64(1.0)).with_label(model.name()),
+    );
+    sim.run_until(SimTime::from_secs_f64(PROFILE_SECS));
+    let metrics = sim.stream_metrics(stream);
+    (metrics.completed() > 0).then(|| metrics.latency_overall().mean())
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Model name.
+    pub model: String,
+    /// Task kind abbreviation (IS/OD/IC/GD/DC).
+    pub kind: &'static str,
+    /// Measured isolated latency per delegate in `[GPU, NNAPI, CPU]`
+    /// column order (as printed in the paper), `None` = NA.
+    pub latency_ms: [Option<f64>; 3],
+}
+
+/// Regenerates one device's half of Table I by running every model of the
+/// zoo in isolation on every delegate.
+pub fn table1(device: &DeviceProfile, zoo: &ModelZoo) -> Vec<Table1Row> {
+    zoo.iter()
+        .map(|model| Table1Row {
+            model: model.name().to_owned(),
+            kind: model.kind().abbrev(),
+            latency_ms: [
+                isolated_latency(device, model, Delegate::Gpu),
+                isolated_latency(device, model, Delegate::Nnapi),
+                isolated_latency(device, model, Delegate::Cpu),
+            ],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_runs_match_table1_calibration() {
+        // The whole point of the calibration: measured isolated latency on
+        // the simulated SoC equals the paper's Table I numbers.
+        let device = DeviceProfile::pixel7();
+        let zoo = ModelZoo::pixel7();
+        for model in zoo.iter() {
+            for d in Delegate::ALL {
+                let measured = isolated_latency(&device, model, d);
+                let target = model.isolated_ms(d);
+                match (measured, target) {
+                    (Some(m), Some(t)) => assert!(
+                        (m - t).abs() < 0.05,
+                        "{} on {d}: measured {m}, table {t}",
+                        model.name()
+                    ),
+                    (None, None) => {}
+                    other => panic!("{} on {d}: NA mismatch {other:?}", model.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s22_table_also_reproduces() {
+        let device = DeviceProfile::galaxy_s22();
+        let zoo = ModelZoo::galaxy_s22();
+        let rows = table1(&device, &zoo);
+        assert_eq!(rows.len(), 9);
+        let deeplab = rows.iter().find(|r| r.model == "deeplabv3").unwrap();
+        // Table I S22 row: 45 / 27 / 46.
+        assert!((deeplab.latency_ms[0].unwrap() - 45.0).abs() < 0.05);
+        assert!((deeplab.latency_ms[1].unwrap() - 27.0).abs() < 0.05);
+        assert!((deeplab.latency_ms[2].unwrap() - 46.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn na_cells_stay_na() {
+        let device = DeviceProfile::pixel7();
+        let zoo = ModelZoo::pixel7();
+        let rows = table1(&device, &zoo);
+        let dl = rows.iter().find(|r| r.model == "deeplabv3").unwrap();
+        assert!(dl.latency_ms[1].is_none(), "Pixel 7 deeplabv3 NNAPI is NA");
+    }
+}

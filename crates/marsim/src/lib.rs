@@ -1,0 +1,46 @@
+//! MAR application runtime simulation and experiment orchestration.
+//!
+//! This crate plays the role of the paper's Android prototype: it wires the
+//! simulated SoC ([`soc`]), the AI taskset ([`nnmodel`]), and the virtual
+//! object scene ([`arscene`]) into a running MAR app, drives HBO and the
+//! baselines ([`hbo_core`]) against it, and packages the measurement loops
+//! behind the experiment entry points the bench harness calls.
+//!
+//! * [`MarApp`] — the live app: AI streams + render loop on one `SocSim`,
+//!   with object placement, user movement, allocation and triangle-ratio
+//!   control, and windowed measurement of `(Q, ε)`.
+//! * [`isolated`] — offline profiling (Table I): each task alone on each
+//!   delegate, no objects.
+//! * [`experiment`] — full HBO activations and baseline evaluations
+//!   (Figs. 4–7, Tables III–IV).
+//! * [`timeline`] — scripted event sequences (Fig. 2's motivation study,
+//!   Fig. 8's activation study).
+//! * [`userstudy`] — the simulated 7-participant panel of Fig. 9.
+//!
+//! # Example
+//!
+//! ```
+//! use marsim::{MarApp, ScenarioSpec};
+//!
+//! let scenario = ScenarioSpec::sc1_cf1();
+//! let mut app = MarApp::new(&scenario);
+//! app.place_all_objects();
+//! let m = app.measure_for_secs(2.0);
+//! assert!(m.epsilon >= 0.0 && m.quality > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod app;
+pub mod load;
+pub mod experiment;
+pub mod isolated;
+mod scenario;
+pub mod synth;
+pub mod timeline;
+pub mod userstudy;
+
+pub use app::{task_period_ms, MarApp, Measurement, TASK_JITTER_MS, TASK_PERIOD_MS};
+pub use experiment::{BaselineOutcome, ExperimentResult, HboRunResult};
+pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};

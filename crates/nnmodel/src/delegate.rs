@@ -1,0 +1,129 @@
+//! Delegates (allocatable resources) and AI task kinds.
+
+use serde::{Deserialize, Serialize};
+
+/// An allocation choice for an AI task, matching the paper's three
+/// resources: plain CPU inference, the GPU delegate (all operators on the
+/// GPU), and the NNAPI delegate (operators split across NPU and GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Delegate {
+    /// Multi-threaded CPU inference.
+    Cpu,
+    /// TFLite GPU delegate: every operator runs on the GPU.
+    Gpu,
+    /// Android NNAPI: supported operators on the NPU/TPU, the rest falling
+    /// back to the GPU.
+    Nnapi,
+}
+
+impl Delegate {
+    /// All delegates, in resource-index order (`N = 3` in the paper).
+    pub const ALL: [Delegate; 3] = [Delegate::Cpu, Delegate::Gpu, Delegate::Nnapi];
+
+    /// Number of allocatable resources.
+    pub const COUNT: usize = 3;
+
+    /// The resource index used by HBO's `c` vector (0 = CPU, 1 = GPU,
+    /// 2 = NNAPI).
+    pub fn index(self) -> usize {
+        match self {
+            Delegate::Cpu => 0,
+            Delegate::Gpu => 1,
+            Delegate::Nnapi => 2,
+        }
+    }
+
+    /// Inverse of [`Delegate::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    pub fn from_index(index: usize) -> Delegate {
+        Delegate::ALL[index]
+    }
+
+    /// Short label used in the paper's figures (`C`, `G`, `N`).
+    pub fn letter(self) -> char {
+        match self {
+            Delegate::Cpu => 'C',
+            Delegate::Gpu => 'G',
+            Delegate::Nnapi => 'N',
+        }
+    }
+}
+
+impl std::fmt::Display for Delegate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Delegate::Cpu => "CPU",
+            Delegate::Gpu => "GPU",
+            Delegate::Nnapi => "NNAPI",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The category of an AI task, as listed in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// IS — semantic image segmentation.
+    ImageSegmentation,
+    /// OD — object detection.
+    ObjectDetection,
+    /// IC — image classification.
+    ImageClassification,
+    /// GD — gesture detection.
+    GestureDetection,
+    /// Digit classification (mnist, used in scenarios CF1/CF2).
+    DigitClassification,
+}
+
+impl TaskKind {
+    /// Table I's two-letter abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            TaskKind::ImageSegmentation => "IS",
+            TaskKind::ObjectDetection => "OD",
+            TaskKind::ImageClassification => "IC",
+            TaskKind::GestureDetection => "GD",
+            TaskKind::DigitClassification => "DC",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for d in Delegate::ALL {
+            assert_eq!(Delegate::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn letters_match_figures() {
+        assert_eq!(Delegate::Cpu.letter(), 'C');
+        assert_eq!(Delegate::Gpu.letter(), 'G');
+        assert_eq!(Delegate::Nnapi.letter(), 'N');
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Delegate::Nnapi.to_string(), "NNAPI");
+        assert_eq!(TaskKind::ImageSegmentation.to_string(), "IS");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_index_panics() {
+        Delegate::from_index(3);
+    }
+}

@@ -1,0 +1,41 @@
+//! AI model substrate: the TFLite stand-in.
+//!
+//! The paper treats each AI model as a black box whose isolated latency on
+//! each *delegate* (CPU, GPU delegate, NNAPI delegate) was measured on real
+//! phones — Table I. This crate reproduces that black box:
+//!
+//! * [`Model`] carries the measured isolated latencies per [`Delegate`]
+//!   (with `NA` entries preserved — some models are incompatible with some
+//!   delegates) plus the *structure* of its NNAPI execution: the fraction
+//!   of compute the NPU supports, with unsupported operators falling back
+//!   to the GPU (footnote 2 of the paper).
+//! * [`Model::plan`] lowers a (model, delegate) pair to a [`soc::StageSeq`]
+//!   whose **isolated** latency on the simulated SoC exactly matches the
+//!   Table I number, while its **contended** latency emerges from queueing
+//!   (the phenomenon in Fig. 2).
+//! * [`ModelZoo`] holds the calibrated zoos for the Galaxy S22 and Pixel 7,
+//!   including the `mnist` digit classifier used by the paper's scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use nnmodel::{Delegate, ModelZoo};
+//!
+//! let zoo = ModelZoo::pixel7();
+//! let m = zoo.get("inception-v1-q").unwrap();
+//! assert_eq!(m.isolated_ms(Delegate::Nnapi), Some(8.7));
+//! assert_eq!(m.best_delegate().0, Delegate::Nnapi);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delegate;
+mod model;
+pub mod ops;
+mod zoo;
+
+pub use delegate::{Delegate, TaskKind};
+pub use model::{Model, NnapiStructure};
+pub use ops::{fine_grained_plan, FineGrainedPlan, OpGraph, OpKind, OpPlacement, Operator};
+pub use zoo::ModelZoo;

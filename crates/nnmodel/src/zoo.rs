@@ -1,0 +1,205 @@
+//! The calibrated model zoos: Table I of the paper plus the `mnist` digit
+//! classifier used by the scenario tasksets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::delegate::TaskKind;
+use crate::model::{Model, NnapiStructure};
+
+/// A collection of calibrated models for one device.
+///
+/// # Example
+///
+/// ```
+/// use nnmodel::{Delegate, ModelZoo};
+///
+/// let zoo = ModelZoo::galaxy_s22();
+/// // Table I row: deeplabv3 on the S22 — 45 / 27 / 46 ms.
+/// let m = zoo.get("deeplabv3").unwrap();
+/// assert_eq!(m.isolated_ms(Delegate::Gpu), Some(45.0));
+/// assert_eq!(m.isolated_ms(Delegate::Nnapi), Some(27.0));
+/// assert_eq!(m.isolated_ms(Delegate::Cpu), Some(46.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelZoo {
+    device: String,
+    models: Vec<Model>,
+}
+
+impl ModelZoo {
+    /// The zoo calibrated to the Samsung Galaxy S22 column of Table I.
+    ///
+    /// NNAPI structures (NPU share of compute / partition segments) are
+    /// chosen from the affinity pattern: models much faster on NNAPI than
+    /// on the GPU delegate are well supported by the NPU; `model-metadata`,
+    /// which is *slower* on NNAPI than on the GPU, falls back heavily.
+    pub fn galaxy_s22() -> Self {
+        use TaskKind::*;
+        let s = NnapiStructure::new;
+        let models = vec![
+            //          name                 kind  GPU        NNAPI       CPU        nnapi structure
+            Model::new("deconv-munet", ImageSegmentation, Some(18.0), Some(33.0), Some(58.0), s(0.55, 2)),
+            Model::new("deeplabv3", ImageSegmentation, Some(45.0), Some(27.0), Some(46.0), s(0.70, 2)),
+            Model::new("efficientdet-lite", ObjectDetection, Some(72.0), None, Some(68.0), s(0.5, 1)),
+            Model::new("mobilenetDetv1", ObjectDetection, Some(38.0), Some(13.0), Some(38.0), s(0.95, 2)),
+            Model::new("efficientclass-lite0", ImageClassification, Some(28.0), Some(10.0), Some(29.0), s(0.95, 2)),
+            Model::new("inception-v1-q", ImageClassification, Some(28.0), Some(8.0), Some(36.0), s(0.97, 1)),
+            Model::new("mobilenet-v1", ImageClassification, Some(26.0), Some(9.5), Some(28.0), s(0.95, 1)),
+            Model::new("model-metadata", GestureDetection, Some(12.7), Some(18.0), Some(14.0), s(0.25, 2)),
+            Model::new("mnist", DigitClassification, Some(5.5), Some(6.5), Some(6.0), s(0.60, 1)),
+        ];
+        ModelZoo {
+            device: "Samsung Galaxy S22".to_owned(),
+            models,
+        }
+    }
+
+    /// The zoo calibrated to the Google Pixel 7 column of Table I — the
+    /// main evaluation device. The Pixel 7's NNAPI rejects the two image
+    /// segmentation models and efficientdet (NA in the table).
+    pub fn pixel7() -> Self {
+        use TaskKind::*;
+        let s = NnapiStructure::new;
+        let models = vec![
+            Model::new("deconv-munet", ImageSegmentation, Some(17.9), None, Some(65.9), s(0.5, 1)),
+            Model::new("deeplabv3", ImageSegmentation, Some(136.6), None, Some(110.1), s(0.5, 1)),
+            Model::new("efficientdet-lite", ObjectDetection, Some(109.8), None, Some(97.3), s(0.5, 1)),
+            Model::new("mobilenetDetv1", ObjectDetection, Some(56.5), Some(18.1), Some(48.9), s(0.95, 2)),
+            Model::new("efficientclass-lite0", ImageClassification, Some(43.37), Some(18.3), Some(41.5), s(0.95, 2)),
+            Model::new("inception-v1-q", ImageClassification, Some(60.8), Some(8.7), Some(63.2), s(0.97, 1)),
+            Model::new("mobilenet-v1", ImageClassification, Some(37.1), Some(10.2), Some(40.5), s(0.95, 1)),
+            Model::new("model-metadata", GestureDetection, Some(24.6), Some(40.7), Some(25.5), s(0.25, 2)),
+            Model::new("mnist", DigitClassification, Some(5.0), Some(6.5), Some(5.5), s(0.60, 1)),
+        ];
+        ModelZoo {
+            device: "Google Pixel 7".to_owned(),
+            models,
+        }
+    }
+
+    /// The zoo for the device named in a [`soc::DeviceProfile`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown device names.
+    pub fn for_device(device_name: &str) -> Self {
+        match device_name {
+            "Google Pixel 7" => Self::pixel7(),
+            "Samsung Galaxy S22" => Self::galaxy_s22(),
+            other => panic!("no calibrated zoo for device {other:?}"),
+        }
+    }
+
+    /// The device this zoo is calibrated for.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&Model> {
+        self.models.iter().find(|m| m.name() == name)
+    }
+
+    /// Iterates over the models in Table I order.
+    pub fn iter(&self) -> impl Iterator<Item = &Model> {
+        self.models.iter()
+    }
+
+    /// Number of models in the zoo.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True if the zoo is empty (never, for the built-in zoos).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delegate::Delegate;
+
+    #[test]
+    fn both_zoos_have_nine_models() {
+        assert_eq!(ModelZoo::galaxy_s22().len(), 9);
+        assert_eq!(ModelZoo::pixel7().len(), 9);
+    }
+
+    #[test]
+    fn pixel7_na_entries_match_table1() {
+        let zoo = ModelZoo::pixel7();
+        for name in ["deconv-munet", "deeplabv3", "efficientdet-lite"] {
+            assert!(
+                !zoo.get(name).unwrap().supports(Delegate::Nnapi),
+                "{name} should be NA on Pixel 7 NNAPI"
+            );
+        }
+        assert!(zoo.get("mobilenetDetv1").unwrap().supports(Delegate::Nnapi));
+    }
+
+    #[test]
+    fn s22_na_entries_match_table1() {
+        let zoo = ModelZoo::galaxy_s22();
+        assert!(!zoo.get("efficientdet-lite").unwrap().supports(Delegate::Nnapi));
+    }
+
+    #[test]
+    fn cf1_affinities_match_section_vb() {
+        // Section V-B (Pixel 7): in CF1 three tasks are GPU-preferred
+        // (mnist, model-metadata x2) and three NNAPI-preferred.
+        let zoo = ModelZoo::pixel7();
+        for name in ["mnist", "model-metadata"] {
+            assert_eq!(zoo.get(name).unwrap().best_delegate().0, Delegate::Gpu, "{name}");
+        }
+        for name in ["mobilenetDetv1", "mobilenet-v1", "efficientclass-lite0"] {
+            assert_eq!(
+                zoo.get(name).unwrap().best_delegate().0,
+                Delegate::Nnapi,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn s22_deeplab_prefers_nnapi() {
+        // Section III-B: "on the S22 Deeplabv3 … has a higher affinity with
+        // NNAPI".
+        let zoo = ModelZoo::galaxy_s22();
+        assert_eq!(zoo.get("deeplabv3").unwrap().best_delegate().0, Delegate::Nnapi);
+        // "model-metadata and deconv-munet show better affinity with GPU".
+        assert_eq!(zoo.get("deconv-munet").unwrap().best_delegate().0, Delegate::Gpu);
+        assert_eq!(zoo.get("model-metadata").unwrap().best_delegate().0, Delegate::Gpu);
+    }
+
+    #[test]
+    fn for_device_dispatches() {
+        assert_eq!(ModelZoo::for_device("Google Pixel 7").device(), "Google Pixel 7");
+        assert_eq!(
+            ModelZoo::for_device("Samsung Galaxy S22").device(),
+            "Samsung Galaxy S22"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibrated zoo")]
+    fn unknown_device_panics() {
+        ModelZoo::for_device("Nokia 3310");
+    }
+
+    #[test]
+    fn mnist_latencies_are_similar_everywhere() {
+        // Section V-D: mnist "has similar latencies across all resources".
+        for zoo in [ModelZoo::pixel7(), ModelZoo::galaxy_s22()] {
+            let m = zoo.get("mnist").unwrap();
+            let ls: Vec<f64> = Delegate::ALL
+                .into_iter()
+                .filter_map(|d| m.isolated_ms(d))
+                .collect();
+            let max = ls.iter().cloned().fold(f64::MIN, f64::max);
+            let min = ls.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max / min < 1.5);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event simulation engine underpinning the HBO reproduction.
+//!
+//! The paper evaluates HBO on real Android phones; this workspace replaces
+//! the phone with a simulated SoC. `simcore` provides the generic machinery
+//! that the `soc` substrate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time with
+//!   total ordering (no floating-point heap keys).
+//! * [`EventQueue`] — a deterministic future-event list: ties in time are
+//!   broken by insertion sequence, so replays are bit-identical.
+//! * [`Simulator`] — a thin driver that pops events and hands them to a
+//!   user-supplied handler together with a scheduling context.
+//! * [`rng`] — named, independently seeded RNG streams so that adding a new
+//!   random consumer does not perturb existing ones.
+//! * [`stats`] — online statistics (Welford mean/variance, time-weighted
+//!   averages, sliding windows, log-bucket histograms) used by the metric
+//!   collectors.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis_f64(2.0), "b");
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis_f64(1.0), "a");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!(e, "a");
+//! assert!((t.as_secs_f64() - 0.001).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+pub mod rng;
+pub mod stats;
+mod time;
+
+pub use queue::{EventQueue, Scheduler, Simulator};
+pub use time::{SimDuration, SimTime};

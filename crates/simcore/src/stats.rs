@@ -1,0 +1,497 @@
+//! Online statistics used by the simulator's metric collectors.
+//!
+//! Everything here is single-pass and allocation-light so it can run inside
+//! the event loop: Welford mean/variance ([`Running`]), time-weighted
+//! averages for utilization tracking ([`TimeWeighted`]), bounded sliding
+//! windows for "latency over the last control period" measurements
+//! ([`SlidingWindow`]), and log-bucketed histograms for tail inspection
+//! ([`LogHistogram`]).
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Single-pass mean / variance / min / max accumulator (Welford's method).
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     r.record(x);
+/// }
+/// assert_eq!(r.mean(), 2.5);
+/// assert_eq!(r.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Running {
+    /// The empty accumulator (same as [`Running::new`]). A derived default
+    /// would zero the min/max sentinels and silently corrupt them.
+    fn default() -> Self {
+        Running::new()
+    }
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite; NaNs poison statistics silently and we
+    /// would rather fail loudly at the source.
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample: {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance, or 0.0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        *self = Running::new();
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue depth,
+/// busy/idle state). Feed it level changes; query the average over the
+/// observed span.
+///
+/// # Example
+///
+/// ```
+/// use simcore::stats::TimeWeighted;
+/// use simcore::SimTime;
+///
+/// let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// u.set(SimTime::from_secs_f64(1.0), 1.0); // busy from t=1
+/// assert_eq!(u.average(SimTime::from_secs_f64(2.0)), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    level: f64,
+    weighted_sum: f64,
+    origin: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with the signal at `level`.
+    pub fn new(start: SimTime, level: f64) -> Self {
+        TimeWeighted {
+            last_change: start,
+            level,
+            weighted_sum: 0.0,
+            origin: start,
+        }
+    }
+
+    /// Records that the signal changed to `level` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous change (causality).
+    pub fn set(&mut self, now: SimTime, level: f64) {
+        assert!(now >= self.last_change, "time went backwards");
+        self.weighted_sum += self.level * (now - self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.level = level;
+    }
+
+    /// Adds `delta` to the current level at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let level = self.level + delta;
+        self.set(now, level);
+    }
+
+    /// Current level of the signal.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Time-weighted average from the start of tracking until `now`.
+    /// Returns the current level if no time has elapsed.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let span = (now - self.origin).as_secs_f64();
+        if span <= 0.0 {
+            return self.level;
+        }
+        let sum = self.weighted_sum + self.level * (now - self.last_change).as_secs_f64();
+        sum / span
+    }
+}
+
+/// A sample paired with its timestamp, stored by [`SlidingWindow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedSample {
+    /// When the sample was recorded.
+    pub time: SimTime,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A time-bounded sliding window of samples: keeps only samples newer than
+/// `horizon` seconds relative to the most recent insertion, supporting
+/// "average latency over the current control period" queries.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    horizon_secs: f64,
+    samples: VecDeque<TimedSample>,
+}
+
+impl SlidingWindow {
+    /// Creates a window keeping `horizon_secs` seconds of history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not positive and finite.
+    pub fn new(horizon_secs: f64) -> Self {
+        assert!(
+            horizon_secs.is_finite() && horizon_secs > 0.0,
+            "invalid horizon: {horizon_secs}"
+        );
+        SlidingWindow {
+            horizon_secs,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Records a sample at `time`, expiring anything older than the horizon.
+    pub fn record(&mut self, time: SimTime, value: f64) {
+        assert!(value.is_finite(), "non-finite sample: {value}");
+        self.samples.push_back(TimedSample { time, value });
+        self.expire(time);
+    }
+
+    /// Drops samples older than the horizon relative to `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        while let Some(front) = self.samples.front() {
+            if (now - front.time).as_secs_f64() > self.horizon_secs {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Mean of the samples currently in the window, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|s| s.value).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Number of samples in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterates over the samples oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedSample> {
+        self.samples.iter()
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// A histogram with logarithmically spaced buckets, for latency tails.
+///
+/// Bucket `i` covers `[base * growth^i, base * growth^(i+1))`; values below
+/// `base` land in bucket 0, values beyond the last bucket in the overflow
+/// bucket.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    base: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `buckets` buckets starting at `base` and
+    /// growing by `growth` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 0`, `growth <= 1`, or `buckets == 0`.
+    pub fn new(base: f64, growth: f64, buckets: usize) -> Self {
+        assert!(base > 0.0 && base.is_finite(), "invalid base: {base}");
+        assert!(growth > 1.0 && growth.is_finite(), "invalid growth: {growth}");
+        assert!(buckets > 0, "need at least one bucket");
+        LogHistogram {
+            base,
+            growth,
+            counts: vec![0; buckets + 1], // +1 overflow bucket
+            total: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite sample: {value}");
+        let idx = if value < self.base {
+            0
+        } else {
+            let i = ((value / self.base).ln() / self.growth.ln()).floor() as usize;
+            i.min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q in [0,1]`: returns the upper edge of the
+    /// bucket containing the q-th value, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.base * self.growth.powi(i as i32 + 1));
+            }
+        }
+        Some(self.base * self.growth.powi(self.counts.len() as i32))
+    }
+
+    /// Iterates over `(bucket_lower_edge, count)` for the regular buckets,
+    /// then `(last_edge, overflow_count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.base * self.growth.powi(i as i32), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((r.mean() - mean).abs() < 1e-12);
+        assert!((r.variance() - var).abs() < 1e-12);
+        assert_eq!(r.min(), Some(1.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Running::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for &x in &xs[..20] {
+            a.record(x);
+        }
+        for &x in &xs[20..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn running_empty_defaults() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // Regression: a derived Default once zeroed the min/max sentinels,
+        // so the first recorded sample could never raise min above 0.
+        let mut r = Running::default();
+        r.record(5.0);
+        assert_eq!(r.min(), Some(5.0));
+        assert_eq!(r.max(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn running_rejects_nan() {
+        Running::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut u = TimeWeighted::new(SimTime::ZERO, 0.0);
+        u.set(SimTime::from_secs_f64(2.0), 4.0);
+        u.set(SimTime::from_secs_f64(3.0), 0.0);
+        // 0 for 2s, 4 for 1s, 0 for 1s => 4/4 = 1.0
+        assert!((u.average(SimTime::from_secs_f64(4.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_level() {
+        let mut u = TimeWeighted::new(SimTime::ZERO, 1.0);
+        u.add(SimTime::from_secs_f64(1.0), 2.0);
+        assert_eq!(u.level(), 3.0);
+        u.add(SimTime::from_secs_f64(2.0), -3.0);
+        assert_eq!(u.level(), 0.0);
+        // 1 for 1s, 3 for 1s, 0 for 2s => 4/4 = 1.0
+        assert!((u.average(SimTime::from_secs_f64(4.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_window_expires() {
+        let mut w = SlidingWindow::new(1.0);
+        w.record(SimTime::from_secs_f64(0.0), 10.0);
+        w.record(SimTime::from_secs_f64(0.5), 20.0);
+        assert_eq!(w.mean(), Some(15.0));
+        w.record(SimTime::from_secs_f64(1.4), 30.0);
+        // Sample at t=0 expired (age 1.4 > 1.0); (20+30)/2.
+        assert_eq!(w.mean(), Some(25.0));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn sliding_window_empty() {
+        let w = SlidingWindow::new(1.0);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket() {
+        let mut h = LogHistogram::new(1.0, 2.0, 10);
+        for v in [1.0, 2.0, 4.0, 8.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= 4.0 && p50 <= 16.0, "p50 = {p50}");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= 100.0, "p100 = {p100}");
+    }
+
+    #[test]
+    fn histogram_underflow_and_overflow() {
+        let mut h = LogHistogram::new(10.0, 10.0, 2);
+        h.record(0.5); // below base -> bucket 0
+        h.record(1e9); // overflow bucket
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts[0], 1);
+        assert_eq!(*counts.last().unwrap(), 1);
+    }
+}

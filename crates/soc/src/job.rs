@@ -1,0 +1,257 @@
+//! Work descriptions: stages, streams (AI inference loops), and sources
+//! (the render loop).
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::topology::ProcId;
+
+/// Handle to a stream created by [`crate::SocSim::add_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub(crate) usize);
+
+/// Handle to a periodic source created by [`crate::SocSim::add_source`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceId(pub(crate) usize);
+
+impl StreamId {
+    /// Raw index of the stream.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl SourceId {
+    /// Raw index of the source.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One step of a job: either compute time on a processor (subject to
+/// queueing/sharing) or a fixed delay (e.g. a DMA copy between host and
+/// accelerator memory, which does not contend for the processors).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Stage {
+    /// `work` of dedicated service time on processor `proc`.
+    Compute {
+        /// Target processor.
+        proc: ProcId,
+        /// Dedicated service time (time to finish with the processor all to
+        /// itself).
+        work: SimDuration,
+    },
+    /// A contention-free delay.
+    Delay {
+        /// Length of the delay.
+        duration: SimDuration,
+    },
+}
+
+impl Stage {
+    /// A compute stage on `proc` taking `work` of dedicated service time.
+    pub fn compute(proc: ProcId, work: SimDuration) -> Stage {
+        Stage::Compute { proc, work }
+    }
+
+    /// A contention-free delay stage.
+    pub fn delay(duration: SimDuration) -> Stage {
+        Stage::Delay { duration }
+    }
+
+    /// Total dedicated time of the stage, ignoring contention.
+    pub fn nominal(&self) -> SimDuration {
+        match *self {
+            Stage::Compute { work, .. } => work,
+            Stage::Delay { duration } => duration,
+        }
+    }
+}
+
+/// A validated, non-empty sequence of stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSeq(Vec<Stage>);
+
+impl StageSeq {
+    /// Wraps a stage list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "a job needs at least one stage");
+        StageSeq(stages)
+    }
+
+    /// The stages in execution order.
+    pub fn stages(&self) -> &[Stage] {
+        &self.0
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false: sequences are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sum of the nominal (contention-free) stage durations.
+    pub fn nominal_total(&self) -> SimDuration {
+        self.0
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.nominal())
+    }
+}
+
+impl From<Vec<Stage>> for StageSeq {
+    fn from(stages: Vec<Stage>) -> Self {
+        StageSeq::new(stages)
+    }
+}
+
+/// Description of a stream: a job that re-runs continuously (an AI task
+/// performing inferences).
+///
+/// The next instance starts at
+/// `max(previous_start + period, completion + gap)`: with a `period` the
+/// task is *rate-anchored* (a camera-frame-driven inference loop that
+/// skips ahead when it falls behind); without one it runs back-to-back
+/// after `gap` of think time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// The stages of one job instance (one inference).
+    pub stages: StageSeq,
+    /// Pause between a completion and the next start (think time).
+    pub gap: SimDuration,
+    /// Target start-to-start period, if rate-anchored.
+    pub period: Option<SimDuration>,
+    /// Maximum deterministic per-instance start jitter (breaks the phase
+    /// lock that identical periods would otherwise cause).
+    pub jitter: SimDuration,
+    /// Optional label used in debug output.
+    pub label: String,
+}
+
+impl StreamSpec {
+    /// Creates a back-to-back stream spec with an empty label.
+    pub fn new(stages: impl Into<StageSeq>, gap: SimDuration) -> Self {
+        StreamSpec {
+            stages: stages.into(),
+            gap,
+            period: None,
+            jitter: SimDuration::ZERO,
+            label: String::new(),
+        }
+    }
+
+    /// Rate-anchors the stream at `period` between starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        self.period = Some(period);
+        self
+    }
+
+    /// Adds deterministic per-instance start jitter in `[0, jitter)`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the debug label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Description of a periodic source: a job released every `period`
+/// (the render loop releasing one frame per vsync), skipping releases when
+/// `max_outstanding` jobs are already in flight (frame dropping).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// The stages of one job instance (one frame).
+    pub stages: StageSeq,
+    /// Release period (16.7 ms for a 60 Hz display).
+    pub period: SimDuration,
+    /// Maximum jobs in flight before releases are skipped.
+    pub max_outstanding: usize,
+    /// Optional label used in debug output.
+    pub label: String,
+}
+
+impl SourceSpec {
+    /// Creates a source spec with an empty label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `max_outstanding` is zero.
+    pub fn new(stages: impl Into<StageSeq>, period: SimDuration, max_outstanding: usize) -> Self {
+        assert!(!period.is_zero(), "source period must be positive");
+        assert!(max_outstanding > 0, "max_outstanding must be positive");
+        SourceSpec {
+            stages: stages.into(),
+            period,
+            max_outstanding,
+            label: String::new(),
+        }
+    }
+
+    /// Sets the debug label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: f64) -> SimDuration {
+        SimDuration::from_millis_f64(x)
+    }
+
+    #[test]
+    fn stage_nominal() {
+        let c = Stage::compute(ProcId(0), ms(5.0));
+        let d = Stage::delay(ms(2.0));
+        assert_eq!(c.nominal(), ms(5.0));
+        assert_eq!(d.nominal(), ms(2.0));
+    }
+
+    #[test]
+    fn seq_totals() {
+        let seq = StageSeq::new(vec![Stage::delay(ms(1.0)), Stage::compute(ProcId(0), ms(4.0))]);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.nominal_total(), ms(5.0));
+        assert!(!seq.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_seq_panics() {
+        StageSeq::new(vec![]);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = StreamSpec::new(vec![Stage::delay(ms(1.0))], ms(0.5)).with_label("t1");
+        assert_eq!(s.label, "t1");
+        let src = SourceSpec::new(vec![Stage::delay(ms(1.0))], ms(16.7), 2).with_label("render");
+        assert_eq!(src.max_outstanding, 2);
+        assert_eq!(src.label, "render");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        SourceSpec::new(vec![Stage::delay(ms(1.0))], SimDuration::ZERO, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Calibrated device profiles for the two phones used in the paper.
+//!
+//! A [`DeviceProfile`] bundles the processor topology of a phone with the
+//! cost coefficients of its render pipeline. The AI-model service times
+//! live in the `nnmodel` crate (they are per-model, not per-device
+//! constants — see Table I of the paper); the profile carries everything
+//! that is a property of the *device*.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+use crate::server::ServicePolicy;
+use crate::topology::{ProcId, Topology};
+
+/// Cost coefficients of the render pipeline.
+///
+/// Each frame issues a CPU prep job (draw-call assembly, scene-graph
+/// traversal) followed by a GPU job whose service time grows with the
+/// number of *visible* triangles (after backface culling and distance
+/// attenuation — computed by `arscene`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderCost {
+    /// Fixed GPU time per frame (ms): swapchain, composition.
+    pub gpu_base_ms: f64,
+    /// GPU time per million visible triangles (ms).
+    pub gpu_ms_per_mtri: f64,
+    /// Fixed CPU prep time per frame (ms).
+    pub cpu_base_ms: f64,
+    /// CPU prep time per on-screen object (ms).
+    pub cpu_ms_per_object: f64,
+}
+
+impl RenderCost {
+    /// GPU service time of one frame showing `visible_tris` triangles.
+    pub fn gpu_frame(&self, visible_tris: f64) -> SimDuration {
+        SimDuration::from_millis_f64(self.gpu_base_ms + self.gpu_ms_per_mtri * visible_tris / 1e6)
+    }
+
+    /// CPU prep time of one frame showing `objects` objects.
+    pub fn cpu_frame(&self, objects: usize) -> SimDuration {
+        SimDuration::from_millis_f64(self.cpu_base_ms + self.cpu_ms_per_object * objects as f64)
+    }
+}
+
+/// The processor ids of a standard phone topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocProcs {
+    /// The CPU inference lanes (FIFO, [`DeviceProfile::cpu_slots`] slots —
+    /// 2 on the calibrated phones): a couple of multi-threaded TFLite
+    /// inferences fit side by side, further ones queue, which is what the
+    /// paper's Fig. 2 shows as CPU tasks pile up.
+    pub cpu: ProcId,
+    /// The core the render thread lives on (Android pins the render/UI
+    /// threads away from the inference threads), running frame prep.
+    pub cpu_render: ProcId,
+    /// The GPU (processor sharing between render passes and compute).
+    pub gpu: ProcId,
+    /// The NPU / TPU (single-slot FIFO).
+    pub npu: ProcId,
+}
+
+/// A calibrated phone: topology plus render cost model.
+///
+/// # Example
+///
+/// ```
+/// use soc::DeviceProfile;
+///
+/// let dev = DeviceProfile::pixel7();
+/// let (topo, procs) = dev.topology();
+/// assert_eq!(topo.spec(procs.gpu).name, "gpu");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Marketing name of the device.
+    pub name: String,
+    /// Concurrent CPU inference slots. The big/mid core pairs fit about
+    /// two multi-threaded TFLite inferences side by side on the calibrated
+    /// phones; a third CPU inference queues behind them.
+    pub cpu_slots: usize,
+    /// Display vsync period.
+    pub frame_period: SimDuration,
+    /// Maximum in-flight frames before the render loop drops releases.
+    pub max_frames_in_flight: usize,
+    /// Render pipeline costs.
+    pub render: RenderCost,
+    /// One-way host ↔ accelerator copy overhead per delegate invocation.
+    pub copy_ms: f64,
+}
+
+impl DeviceProfile {
+    /// Google Pixel 7 (Tensor G2: octa-core CPU, Mali-G710 GPU, TPU).
+    /// The main evaluation device of the paper (Section V-A).
+    pub fn pixel7() -> Self {
+        DeviceProfile {
+            name: "Google Pixel 7".to_owned(),
+            cpu_slots: 2,
+            frame_period: SimDuration::from_millis_f64(16.7),
+            max_frames_in_flight: 2,
+            render: RenderCost {
+                gpu_base_ms: 0.6,
+                gpu_ms_per_mtri: 30.0,
+                cpu_base_ms: 0.8,
+                cpu_ms_per_object: 0.3,
+            },
+            copy_ms: 0.5,
+        }
+    }
+
+    /// Samsung Galaxy S22 (used for the motivation study, Fig. 2/Table I).
+    pub fn galaxy_s22() -> Self {
+        DeviceProfile {
+            name: "Samsung Galaxy S22".to_owned(),
+            cpu_slots: 2,
+            frame_period: SimDuration::from_millis_f64(16.7),
+            max_frames_in_flight: 2,
+            render: RenderCost {
+                gpu_base_ms: 0.5,
+                gpu_ms_per_mtri: 26.0,
+                cpu_base_ms: 0.7,
+                cpu_ms_per_object: 0.25,
+            },
+            copy_ms: 0.5,
+        }
+    }
+
+    /// Builds the device's topology: `cpu` (FIFO, [`Self::cpu_slots`]
+    /// inference slots), `cpu_render` (FIFO, 1 slot for frame prep),
+    /// `gpu` (processor sharing), `npu` (FIFO, 1 slot).
+    pub fn topology(&self) -> (Topology, SocProcs) {
+        let mut topo = Topology::new();
+        let cpu = topo.add_processor(
+            "cpu",
+            ServicePolicy::Fifo {
+                slots: self.cpu_slots,
+            },
+        );
+        let cpu_render = topo.add_processor("cpu_render", ServicePolicy::Fifo { slots: 1 });
+        let gpu = topo.add_processor("gpu", ServicePolicy::ProcessorSharing);
+        let npu = topo.add_processor("npu", ServicePolicy::Fifo { slots: 1 });
+        (
+            topo,
+            SocProcs {
+                cpu,
+                cpu_render,
+                gpu,
+                npu,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_have_four_processors() {
+        for dev in [DeviceProfile::pixel7(), DeviceProfile::galaxy_s22()] {
+            let (topo, procs) = dev.topology();
+            assert_eq!(topo.len(), 4);
+            assert_eq!(topo.spec(procs.cpu_render).name, "cpu_render");
+            assert_eq!(topo.spec(procs.cpu).name, "cpu");
+            assert_eq!(topo.spec(procs.gpu).name, "gpu");
+            assert_eq!(topo.spec(procs.npu).name, "npu");
+            assert_eq!(
+                topo.spec(procs.npu).policy,
+                ServicePolicy::Fifo { slots: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn render_cost_scales_with_triangles() {
+        let r = DeviceProfile::pixel7().render;
+        let light = r.gpu_frame(30_000.0);
+        let heavy = r.gpu_frame(1_200_000.0);
+        assert!(heavy > light);
+        // SC1-scale load (~0.45M visible tris) should consume most of a
+        // 16.7 ms frame, so rendering strongly contends with AI.
+        let sc1 = r.gpu_frame(450_000.0).as_millis_f64();
+        assert!(sc1 > 10.0 && sc1 < 16.7, "sc1 frame = {sc1} ms");
+    }
+
+    #[test]
+    fn cpu_prep_scales_with_objects() {
+        let r = DeviceProfile::pixel7().render;
+        assert!(r.cpu_frame(9) > r.cpu_frame(1));
+    }
+}

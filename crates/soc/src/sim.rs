@@ -1,0 +1,821 @@
+//! The SoC simulator: wires streams, sources, and servers to the
+//! discrete-event engine.
+
+use std::collections::HashMap;
+
+use simcore::stats::{LogHistogram, Running};
+use simcore::{SimTime, Simulator};
+
+use crate::job::{SourceId, SourceSpec, Stage, StageSeq, StreamId, StreamSpec};
+use crate::server::{FifoServer, JobKey, Owner, PsServer, ServicePolicy};
+use crate::topology::{ProcId, Topology};
+
+/// Events internal to the SoC simulation.
+#[derive(Debug, Clone, Copy)]
+enum SocEvent {
+    /// The job in `slot` of FIFO processor `proc` finished.
+    FifoDone { proc: usize, slot: usize },
+    /// Re-derive completions on PS processor `proc`; stale if the server's
+    /// generation moved past `generation`.
+    PsCheck { proc: usize, generation: u64 },
+    /// A contention-free delay stage elapsed.
+    DelayDone { key: JobKey },
+    /// Periodic release point of a source.
+    SourceTick { source: usize },
+    /// (Re)start of a stream instance.
+    StreamStart { stream: usize },
+}
+
+/// Per-stream latency measurements.
+///
+/// Keeps the full `(completion time, latency ms)` trace so experiments can
+/// plot time series (Fig. 2) and compute window means (Eq. 4).
+#[derive(Debug, Clone)]
+pub struct StreamMetrics {
+    samples: Vec<(SimTime, f64)>,
+    overall: Running,
+    histogram: LogHistogram,
+}
+
+impl Default for StreamMetrics {
+    fn default() -> Self {
+        StreamMetrics {
+            samples: Vec::new(),
+            overall: Running::new(),
+            // 0.1 ms .. ~1.7 s in 10% steps: covers sub-ms digit
+            // classifiers up to pathologically contended segmentation.
+            histogram: LogHistogram::new(0.1, 1.1, 102),
+        }
+    }
+}
+
+impl StreamMetrics {
+    /// Number of completed instances (inferences).
+    pub fn completed(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Statistics over every completed instance.
+    pub fn latency_overall(&self) -> &Running {
+        &self.overall
+    }
+
+    /// Full `(completion time, latency ms)` trace, oldest first.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Latency of the most recent completion, in milliseconds.
+    pub fn last_latency_ms(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, l)| l)
+    }
+
+    /// Mean latency (ms) of completions at or after `since`, or `None` if
+    /// none completed in that span.
+    pub fn mean_since(&self, since: SimTime) -> Option<f64> {
+        let idx = self.samples.partition_point(|&(t, _)| t < since);
+        let tail = &self.samples[idx..];
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().map(|&(_, l)| l).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Approximate latency percentile in milliseconds over every
+    /// completion (log-bucketed, ~10 % resolution), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        self.histogram.quantile(q)
+    }
+
+    fn record(&mut self, at: SimTime, latency_ms: f64) {
+        self.samples.push((at, latency_ms));
+        self.overall.record(latency_ms);
+        self.histogram.record(latency_ms);
+    }
+}
+
+/// Per-source (render-loop) measurements.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMetrics {
+    /// Jobs released.
+    pub released: u64,
+    /// Release points skipped because `max_outstanding` jobs were in flight
+    /// (dropped frames).
+    pub skipped: u64,
+    /// Latency (ms) of completed jobs.
+    latency: Running,
+    completions: Vec<SimTime>,
+}
+
+impl SourceMetrics {
+    /// Number of completed jobs (rendered frames).
+    pub fn completed(&self) -> u64 {
+        self.latency.count()
+    }
+
+    /// Latency statistics of completed jobs.
+    pub fn latency(&self) -> &Running {
+        &self.latency
+    }
+
+    /// Completions per second over `[since, now]` (e.g. achieved FPS).
+    pub fn rate_since(&self, since: SimTime, now: SimTime) -> f64 {
+        let span = (now - since).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let idx = self.completions.partition_point(|&t| t < since);
+        (self.completions.len() - idx) as f64 / span
+    }
+}
+
+/// Snapshot of one processor's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorMetrics {
+    /// Processor name from the topology.
+    pub name: String,
+    /// Stage executions finished on this processor.
+    pub completed: u64,
+    /// Time-weighted average number of resident/running jobs since start.
+    pub avg_active: f64,
+    /// Time-weighted fraction of the span the processor was doing *any*
+    /// work: exact utilization for PS servers; `avg_active / slots` for
+    /// FIFO servers.
+    pub avg_busy: f64,
+    /// Jobs currently running or resident.
+    pub running_now: usize,
+    /// Jobs currently waiting in queue (always 0 for PS processors).
+    pub queued_now: usize,
+}
+
+enum ServerImpl {
+    Fifo(FifoServer),
+    Ps(PsServer),
+}
+
+struct StreamState {
+    spec: StreamSpec,
+    /// Replacement stage sequence to apply at the next restart.
+    pending: Option<StageSeq>,
+    seq: u64,
+    started_at: SimTime,
+    in_flight: bool,
+    metrics: StreamMetrics,
+}
+
+struct SourceState {
+    spec: SourceSpec,
+    seq: u64,
+    /// Release time of each in-flight instance.
+    outstanding: HashMap<u64, SimTime>,
+    metrics: SourceMetrics,
+}
+
+struct SocState {
+    topo: Topology,
+    servers: Vec<ServerImpl>,
+    streams: Vec<StreamState>,
+    sources: Vec<SourceState>,
+}
+
+type Sched<'a> = simcore::Scheduler<'a, SocEvent>;
+
+/// Simulator of a heterogeneous SoC running AI-task streams and periodic
+/// render sources. See the crate docs for an end-to-end example.
+pub struct SocSim {
+    sim: Simulator<SocEvent>,
+    state: SocState,
+}
+
+impl std::fmt::Debug for SocSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocSim")
+            .field("now", &self.sim.now())
+            .field("streams", &self.state.streams.len())
+            .field("sources", &self.state.sources.len())
+            .finish()
+    }
+}
+
+impl SocSim {
+    /// Creates a simulator over `topology` at time zero.
+    pub fn new(topology: Topology) -> Self {
+        let start = SimTime::ZERO;
+        let servers = topology
+            .iter()
+            .map(|(_, spec)| match spec.policy {
+                ServicePolicy::Fifo { slots } => ServerImpl::Fifo(FifoServer::new(slots, start)),
+                ServicePolicy::ProcessorSharing => ServerImpl::Ps(PsServer::new(start)),
+            })
+            .collect();
+        SocSim {
+            sim: Simulator::new(),
+            state: SocState {
+                topo: topology,
+                servers,
+                streams: Vec::new(),
+                sources: Vec::new(),
+            },
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The processor topology.
+    pub fn topology(&self) -> &Topology {
+        &self.state.topo
+    }
+
+    /// Adds a stream; its first instance starts at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any compute stage references a processor outside the
+    /// topology.
+    pub fn add_stream(&mut self, spec: StreamSpec) -> StreamId {
+        self.state.validate_stages(&spec.stages);
+        let id = StreamId(self.state.streams.len());
+        self.state.streams.push(StreamState {
+            spec,
+            pending: None,
+            seq: 0,
+            started_at: self.sim.now(),
+            in_flight: false,
+            metrics: StreamMetrics::default(),
+        });
+        self.sim
+            .schedule(self.sim.now(), SocEvent::StreamStart { stream: id.0 });
+        id
+    }
+
+    /// Replaces a stream's stage sequence, effective at its next restart
+    /// (the in-flight inference finishes under the old allocation, exactly
+    /// like relocating a TFLite interpreter between inferences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage references an unknown processor.
+    pub fn update_stream(&mut self, id: StreamId, stages: impl Into<StageSeq>) {
+        let stages = stages.into();
+        self.state.validate_stages(&stages);
+        self.state.streams[id.0].pending = Some(stages);
+    }
+
+    /// Adds a periodic source; its first release is at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any compute stage references an unknown processor.
+    pub fn add_source(&mut self, spec: SourceSpec) -> SourceId {
+        self.state.validate_stages(&spec.stages);
+        let id = SourceId(self.state.sources.len());
+        self.state.sources.push(SourceState {
+            spec,
+            seq: 0,
+            outstanding: HashMap::new(),
+            metrics: SourceMetrics::default(),
+        });
+        self.sim
+            .schedule(self.sim.now(), SocEvent::SourceTick { source: id.0 });
+        id
+    }
+
+    /// Replaces a source's stage sequence, effective at the next release
+    /// (e.g. the render load changes when objects are added or decimated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage references an unknown processor.
+    pub fn update_source(&mut self, id: SourceId, stages: impl Into<StageSeq>) {
+        let stages = stages.into();
+        self.state.validate_stages(&stages);
+        self.state.sources[id.0].spec.stages = stages;
+    }
+
+    /// Runs the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let SocSim { sim, state } = self;
+        sim.run_until(deadline, |sched, ev| state.handle(sched, ev));
+    }
+
+    /// Measurements of a stream.
+    pub fn stream_metrics(&self, id: StreamId) -> &StreamMetrics {
+        &self.state.streams[id.0].metrics
+    }
+
+    /// Measurements of a source.
+    pub fn source_metrics(&self, id: SourceId) -> &SourceMetrics {
+        &self.state.sources[id.0].metrics
+    }
+
+    /// Snapshot of a processor's counters at the current time.
+    pub fn processor_metrics(&self, id: ProcId) -> ProcessorMetrics {
+        let now = self.sim.now();
+        let name = self.state.topo.spec(id).name.clone();
+        match &self.state.servers[id.index()] {
+            ServerImpl::Fifo(s) => {
+                let slots = match self.state.topo.spec(id).policy {
+                    ServicePolicy::Fifo { slots } => slots as f64,
+                    ServicePolicy::ProcessorSharing => 1.0,
+                };
+                ProcessorMetrics {
+                    name,
+                    completed: s.completed,
+                    avg_active: s.active.average(now),
+                    avg_busy: (s.active.average(now) / slots).min(1.0),
+                    running_now: s.active.level() as usize,
+                    queued_now: s.queue_len(),
+                }
+            }
+            ServerImpl::Ps(s) => ProcessorMetrics {
+                name,
+                completed: s.completed,
+                avg_active: s.active.average(now),
+                avg_busy: s.busy.average(now).min(1.0),
+                running_now: s.resident(),
+                queued_now: 0,
+            },
+        }
+    }
+
+    /// Number of streams added so far.
+    pub fn stream_count(&self) -> usize {
+        self.state.streams.len()
+    }
+}
+
+impl SocState {
+    fn validate_stages(&self, stages: &StageSeq) {
+        for stage in stages.stages() {
+            if let Stage::Compute { proc, .. } = stage {
+                assert!(
+                    self.topo.contains(*proc),
+                    "stage references unknown processor {proc}"
+                );
+            }
+        }
+    }
+
+    fn handle(&mut self, sched: &mut Sched<'_>, ev: SocEvent) {
+        match ev {
+            SocEvent::StreamStart { stream } => self.start_stream_instance(sched, stream),
+            SocEvent::SourceTick { source } => self.source_tick(sched, source),
+            SocEvent::DelayDone { key } => self.on_stage_done(sched, key),
+            SocEvent::FifoDone { proc, slot } => {
+                let now = sched.now();
+                let ServerImpl::Fifo(server) = &mut self.servers[proc] else {
+                    unreachable!("FifoDone on a non-FIFO processor");
+                };
+                let (finished, next) = server.on_done(now, slot);
+                if let Some(start) = next {
+                    sched.schedule_at(
+                        start.done_at,
+                        SocEvent::FifoDone {
+                            proc,
+                            slot: start.slot,
+                        },
+                    );
+                }
+                self.on_stage_done(sched, finished);
+            }
+            SocEvent::PsCheck { proc, generation } => {
+                let now = sched.now();
+                let ServerImpl::Ps(server) = &mut self.servers[proc] else {
+                    unreachable!("PsCheck on a non-PS processor");
+                };
+                if generation != server.generation {
+                    return; // stale check superseded by a membership change
+                }
+                let (finished, next) = server.on_check(now);
+                if let Some(t) = next {
+                    let generation = server.generation;
+                    sched.schedule_at(t, SocEvent::PsCheck { proc, generation });
+                }
+                for key in finished {
+                    self.on_stage_done(sched, key);
+                }
+            }
+        }
+    }
+
+    fn start_stream_instance(&mut self, sched: &mut Sched<'_>, stream: usize) {
+        let now = sched.now();
+        let st = &mut self.streams[stream];
+        debug_assert!(!st.in_flight, "stream restarted while in flight");
+        if let Some(stages) = st.pending.take() {
+            st.spec.stages = stages;
+        }
+        st.seq += 1;
+        st.started_at = now;
+        st.in_flight = true;
+        let key = JobKey {
+            owner: Owner::Stream(StreamId(stream)),
+            seq: st.seq,
+            stage: 0,
+        };
+        self.submit_stage(sched, key);
+    }
+
+    fn source_tick(&mut self, sched: &mut Sched<'_>, source: usize) {
+        let now = sched.now();
+        let st = &mut self.sources[source];
+        sched.schedule_after(st.spec.period, SocEvent::SourceTick { source });
+        if st.outstanding.len() >= st.spec.max_outstanding {
+            st.metrics.skipped += 1;
+            return;
+        }
+        st.seq += 1;
+        st.outstanding.insert(st.seq, now);
+        st.metrics.released += 1;
+        let key = JobKey {
+            owner: Owner::Source(SourceId(source)),
+            seq: st.seq,
+            stage: 0,
+        };
+        self.submit_stage(sched, key);
+    }
+
+    fn stage_of(&self, key: JobKey) -> Option<Stage> {
+        let stages = match key.owner {
+            Owner::Stream(id) => self.streams[id.0].spec.stages.stages(),
+            Owner::Source(id) => self.sources[id.0].spec.stages.stages(),
+        };
+        stages.get(key.stage).copied()
+    }
+
+    fn submit_stage(&mut self, sched: &mut Sched<'_>, key: JobKey) {
+        let Some(stage) = self.stage_of(key) else {
+            // The stage sequence shrank under an in-flight source job:
+            // treat the instance as complete.
+            self.complete_instance(sched, key);
+            return;
+        };
+        let now = sched.now();
+        match stage {
+            Stage::Delay { duration } => {
+                sched.schedule_after(duration, SocEvent::DelayDone { key });
+            }
+            Stage::Compute { proc, work } => match &mut self.servers[proc.index()] {
+                ServerImpl::Fifo(server) => {
+                    if let Some(start) = server.enqueue(now, key, work) {
+                        sched.schedule_at(
+                            start.done_at,
+                            SocEvent::FifoDone {
+                                proc: proc.index(),
+                                slot: start.slot,
+                            },
+                        );
+                    }
+                }
+                ServerImpl::Ps(server) => {
+                    if let Some(t) = server.enqueue(now, key, work) {
+                        let generation = server.generation;
+                        sched.schedule_at(
+                            t,
+                            SocEvent::PsCheck {
+                                proc: proc.index(),
+                                generation,
+                            },
+                        );
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_stage_done(&mut self, sched: &mut Sched<'_>, key: JobKey) {
+        let next = JobKey {
+            stage: key.stage + 1,
+            ..key
+        };
+        let has_next = match key.owner {
+            Owner::Stream(id) => next.stage < self.streams[id.0].spec.stages.len(),
+            Owner::Source(id) => next.stage < self.sources[id.0].spec.stages.len(),
+        };
+        if has_next {
+            self.submit_stage(sched, next);
+        } else {
+            self.complete_instance(sched, key);
+        }
+    }
+
+    fn complete_instance(&mut self, sched: &mut Sched<'_>, key: JobKey) {
+        let now = sched.now();
+        match key.owner {
+            Owner::Stream(id) => {
+                let st = &mut self.streams[id.0];
+                debug_assert_eq!(key.seq, st.seq, "completion of a stale stream instance");
+                let latency_ms = (now - st.started_at).as_millis_f64();
+                st.metrics.record(now, latency_ms);
+                st.in_flight = false;
+                // Rate-anchored streams aim for `start + period`; if the
+                // instance overran, the next starts right away (after the
+                // think-time gap), i.e. the loop skips ahead.
+                let mut next = now + st.spec.gap;
+                if let Some(period) = st.spec.period {
+                    next = next.max(st.started_at + period);
+                }
+                if !st.spec.jitter.is_zero() {
+                    let j = simcore::rng::mix(id.0 as u64, st.seq)
+                        % st.spec.jitter.as_nanos().max(1);
+                    next += simcore::SimDuration::from_nanos(j);
+                }
+                sched.schedule_at(next, SocEvent::StreamStart { stream: id.0 });
+            }
+            Owner::Source(id) => {
+                let st = &mut self.sources[id.0];
+                if let Some(released) = st.outstanding.remove(&key.seq) {
+                    let latency_ms = (now - released).as_millis_f64();
+                    st.metrics.latency.record(latency_ms);
+                    st.metrics.completions.push(now);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use simcore::SimDuration;
+
+    fn ms(x: f64) -> SimDuration {
+        SimDuration::from_millis_f64(x)
+    }
+
+    fn secs(x: f64) -> SimTime {
+        SimTime::from_secs_f64(x)
+    }
+
+    fn topo_cgn() -> (Topology, ProcId, ProcId, ProcId) {
+        let mut t = Topology::new();
+        let cpu = t.add_processor("cpu", ServicePolicy::Fifo { slots: 4 });
+        let gpu = t.add_processor("gpu", ServicePolicy::ProcessorSharing);
+        let npu = t.add_processor("npu", ServicePolicy::Fifo { slots: 1 });
+        (t, cpu, gpu, npu)
+    }
+
+    #[test]
+    fn single_stream_runs_at_nominal_latency() {
+        let (t, cpu, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(1.0));
+        let m = sim.stream_metrics(s);
+        assert_eq!(m.completed(), 100);
+        assert!((m.latency_overall().mean() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fifo_contention_doubles_latency() {
+        let (t, _, _, npu) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let a = sim.add_stream(StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)));
+        let b = sim.add_stream(StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(2.0));
+        // Two back-to-back streams on a single-slot FIFO alternate: each
+        // inference waits ~10 ms then runs 10 ms.
+        for id in [a, b] {
+            let mean = sim.stream_metrics(id).latency_overall().mean();
+            assert!((mean - 20.0).abs() < 1.0, "mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn ps_contention_shares_rate() {
+        let (t, _, gpu, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let a = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        let b = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(2.0));
+        for id in [a, b] {
+            let mean = sim.stream_metrics(id).latency_overall().mean();
+            assert!((mean - 20.0).abs() < 1.0, "mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn delay_stages_do_not_contend() {
+        let (t, _, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let a = sim.add_stream(StreamSpec::new(vec![Stage::delay(ms(5.0))], ms(0.0)));
+        let b = sim.add_stream(StreamSpec::new(vec![Stage::delay(ms(5.0))], ms(0.0)));
+        sim.run_until(secs(1.0));
+        for id in [a, b] {
+            assert!((sim.stream_metrics(id).latency_overall().mean() - 5.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_stage_pipeline_chains() {
+        let (t, cpu, gpu, npu) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(
+            vec![
+                Stage::delay(ms(1.0)),
+                Stage::compute(npu, ms(4.0)),
+                Stage::compute(gpu, ms(3.0)),
+                Stage::compute(cpu, ms(2.0)),
+            ],
+            ms(0.0),
+        ));
+        sim.run_until(secs(1.0));
+        let m = sim.stream_metrics(s);
+        assert!((m.latency_overall().mean() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_stream_applies_at_restart() {
+        let (t, cpu, _, npu) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(1.0));
+        sim.update_stream(s, vec![Stage::compute(cpu, ms(20.0))]);
+        sim.run_until(secs(2.0));
+        let m = sim.stream_metrics(s);
+        // Second half should run at ~20 ms.
+        let late = m.mean_since(secs(1.5)).unwrap();
+        assert!((late - 20.0).abs() < 1.0, "late mean = {late}");
+    }
+
+    #[test]
+    fn source_releases_periodically_and_skips_under_overload() {
+        let (t, _, gpu, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        // Each frame needs 50 ms of GPU but the period is 10 ms: with at
+        // most 2 outstanding, most releases are skipped.
+        let src = sim.add_source(SourceSpec::new(
+            vec![Stage::compute(gpu, ms(50.0))],
+            ms(10.0),
+            2,
+        ));
+        sim.run_until(secs(1.0));
+        let m = sim.source_metrics(src);
+        assert!(m.skipped > 0, "expected skipped frames");
+        assert!(m.completed() > 0);
+        assert!(m.released >= m.completed());
+    }
+
+    #[test]
+    fn render_load_slows_gpu_stream() {
+        let (t, _, gpu, _) = topo_cgn();
+        // Baseline: stream alone.
+        let mut sim = SocSim::new(t.clone());
+        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(2.0));
+        let alone = sim.stream_metrics(s).latency_overall().mean();
+
+        // With a render source taking ~50% of the GPU.
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        sim.add_source(SourceSpec::new(
+            vec![Stage::compute(gpu, ms(8.0))],
+            ms(16.0),
+            2,
+        ));
+        sim.run_until(secs(2.0));
+        let contended = sim.stream_metrics(s).latency_overall().mean();
+        assert!(
+            contended > alone * 1.3,
+            "render load should slow the stream: {alone} -> {contended}"
+        );
+    }
+
+    #[test]
+    fn update_source_changes_render_load() {
+        let (t, _, gpu, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        let src = sim.add_source(SourceSpec::new(
+            vec![Stage::compute(gpu, ms(1.0))],
+            ms(16.0),
+            2,
+        ));
+        sim.run_until(secs(1.0));
+        let light = sim.stream_metrics(s).mean_since(secs(0.5)).unwrap();
+        sim.update_source(src, vec![Stage::compute(gpu, ms(12.0))]);
+        sim.run_until(secs(2.0));
+        let heavy = sim.stream_metrics(s).mean_since(secs(1.5)).unwrap();
+        assert!(heavy > light * 1.5, "{light} -> {heavy}");
+    }
+
+    #[test]
+    fn stream_gap_reduces_throughput_not_latency() {
+        let (t, cpu, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(cpu, ms(10.0))],
+            ms(10.0),
+        ));
+        sim.run_until(secs(1.0));
+        let m = sim.stream_metrics(s);
+        assert_eq!(m.completed(), 50);
+        assert!((m.latency_overall().mean() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn processor_metrics_report_activity() {
+        let (t, cpu, gpu, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(1.0));
+        let cm = sim.processor_metrics(cpu);
+        assert_eq!(cm.name, "cpu");
+        assert!(cm.completed >= 99);
+        assert!(cm.avg_active > 0.9);
+        let gm = sim.processor_metrics(gpu);
+        assert_eq!(gm.completed, 0);
+    }
+
+    #[test]
+    fn latency_percentiles_bracket_the_mean() {
+        let (t, cpu, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let a = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        let b = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(2.0));
+        for id in [a, b] {
+            let m = sim.stream_metrics(id);
+            let p50 = m.latency_percentile_ms(0.5).unwrap();
+            let p99 = m.latency_percentile_ms(0.99).unwrap();
+            assert!(p99 >= p50);
+            // Log buckets are ~10% wide: p50 brackets the mean loosely.
+            let mean = m.latency_overall().mean();
+            assert!(p50 > mean * 0.5 && p50 < mean * 2.0, "p50 {p50} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn mean_since_filters_by_time() {
+        let (t, cpu, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        sim.run_until(secs(1.0));
+        let m = sim.stream_metrics(s);
+        assert!(m.mean_since(secs(0.99)).is_some());
+        assert!(m.mean_since(secs(2.0)).is_none());
+        assert!(m.last_latency_ms().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown processor")]
+    fn unknown_processor_rejected() {
+        let (t, _, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(ProcId(99), ms(1.0))],
+            ms(0.0),
+        ));
+    }
+
+    #[test]
+    fn rate_anchored_stream_respects_period() {
+        let (t, cpu, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let s = sim.add_stream(
+            StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0))
+                .with_period(ms(50.0)),
+        );
+        sim.run_until(secs(1.0));
+        let m = sim.stream_metrics(s);
+        // One instance per 50 ms, each at nominal latency.
+        assert_eq!(m.completed(), 20);
+        assert!((m.latency_overall().mean() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overrunning_rate_anchored_stream_skips_ahead() {
+        let (t, cpu, _, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        // 30 ms of work on a 20 ms period: the stream runs back-to-back.
+        let s = sim.add_stream(
+            StreamSpec::new(vec![Stage::compute(cpu, ms(30.0))], ms(0.0))
+                .with_period(ms(20.0)),
+        );
+        sim.run_until(secs(0.9));
+        let m = sim.stream_metrics(s);
+        assert_eq!(m.completed(), 30);
+    }
+
+    #[test]
+    fn source_rate_since_measures_fps() {
+        let (t, _, gpu, _) = topo_cgn();
+        let mut sim = SocSim::new(t);
+        let src = sim.add_source(SourceSpec::new(
+            vec![Stage::compute(gpu, ms(2.0))],
+            ms(10.0),
+            2,
+        ));
+        sim.run_until(secs(2.0));
+        let fps = sim.source_metrics(src).rate_since(secs(1.0), secs(2.0));
+        assert!((fps - 100.0).abs() < 5.0, "fps = {fps}");
+    }
+}

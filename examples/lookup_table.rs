@@ -1,0 +1,72 @@
+//! Demonstrates the Section VI extension: a lookup table memoizing
+//! `(taskset, T_max, distance)` conditions → chosen configurations, so
+//! that a fast-paced app can reuse a stored solution instead of paying for
+//! a fresh Bayesian activation when it re-enters familiar conditions.
+//!
+//! ```text
+//! cargo run --release --example lookup_table
+//! ```
+
+use hbo_core::{HboConfig, LookupKey, LookupTable, StoredConfig};
+use hbo_suite::prelude::*;
+
+fn key_for(app: &MarApp, spec: &ScenarioSpec) -> LookupKey {
+    let taskset = LookupKey::fingerprint_taskset(app.task_names().into_iter());
+    LookupKey::quantize(
+        taskset,
+        app.scene().total_max_triangles().max(1),
+        spec.user_distance,
+    )
+}
+
+fn main() {
+    let spec = ScenarioSpec::sc2_cf1();
+    let mut table = LookupTable::new();
+
+    // First visit to these conditions: pay for a full activation and store
+    // the solution.
+    let run = marsim::experiment::run_hbo(&spec, &HboConfig::default(), 5);
+    let mut app = MarApp::new(&spec);
+    app.place_all_objects();
+    let key = key_for(&app, &spec);
+    table.store(
+        key,
+        StoredConfig {
+            c: run.best.point.c.clone(),
+            x: run.best.point.x,
+            allocation: run.best.point.allocation.clone(),
+            reward: -run.best.cost,
+        },
+    );
+    println!(
+        "activation ran {} iterations, stored config (x={:.2}, reward {:.3}) under {:?}",
+        run.records.len(),
+        run.best.point.x,
+        -run.best.cost,
+        key
+    );
+
+    // The user leaves and comes back to *almost* the same conditions
+    // (slightly different distance): fuzzy lookup skips the activation.
+    let mut spec2 = spec.clone();
+    spec2.user_distance = spec.user_distance * 1.15;
+    let mut app2 = MarApp::new(&spec2);
+    app2.place_all_objects();
+    let probe = key_for(&app2, &spec2);
+    match table.find_similar(&probe) {
+        Some(stored) => {
+            app2.set_allocation(&stored.allocation);
+            app2.set_triangle_ratio(stored.x);
+            app2.run_for_secs(1.0);
+            let m = app2.measure_for_secs(2.0);
+            println!(
+                "revisit: reused stored config without activating — reward {:.3} \
+                 (stored {:.3}); saved {} exploration periods",
+                m.reward(2.5),
+                stored.reward,
+                run.records.len()
+            );
+        }
+        None => println!("revisit: no similar condition stored, would activate"),
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: run one HBO activation on the paper's most challenging
+//! scenario (SC1-CF1) and print what the framework decided.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hbo_suite::prelude::*;
+
+fn main() {
+    // The scenario: the SC1 virtual-object set (Table II, ~1.19 M
+    // triangles) with the six-task CF1 AI taskset on a Pixel 7.
+    let scenario = ScenarioSpec::sc1_cf1();
+
+    // Baseline measurement: everything at full quality on the static
+    // best-isolated-latency allocation.
+    let mut app = MarApp::new(&scenario);
+    app.place_all_objects();
+    app.run_for_secs(1.0);
+    let before = app.measure_for_secs(2.0);
+    println!(
+        "before HBO: quality {:.3}, normalized AI latency {:.3}, reward {:.3}",
+        before.quality,
+        before.epsilon,
+        before.reward(2.5)
+    );
+
+    // One HBO activation: 5 random initial configurations + 15 Bayesian
+    // iterations (the paper's budget).
+    let config = HboConfig::default();
+    let run = marsim::experiment::run_hbo(&scenario, &config, 42);
+    let best = &run.best;
+    println!(
+        "\nHBO chose: triangle ratio x = {:.2}, allocation = {:?}",
+        best.point.x,
+        best
+            .point
+            .allocation
+            .iter()
+            .zip(app.task_names())
+            .map(|(d, n)| format!("{n}->{d}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "converged to cost {:.3} after {} of {} iterations",
+        best.cost,
+        run.iterations_to_converge(),
+        run.records.len()
+    );
+
+    // Apply it and re-measure.
+    app.apply(&best.point);
+    app.run_for_secs(1.0);
+    let after = app.measure_for_secs(2.0);
+    println!(
+        "\nafter HBO:  quality {:.3}, normalized AI latency {:.3}, reward {:.3}",
+        after.quality,
+        after.epsilon,
+        after.reward(2.5)
+    );
+    println!(
+        "latency improved {:.1}x at a quality cost of {:.1}%",
+        (1.0 + before.epsilon) / (1.0 + after.epsilon),
+        100.0 * (before.quality - after.quality)
+    );
+}
