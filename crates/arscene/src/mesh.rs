@@ -2,8 +2,8 @@
 //! paper's virtual-object assets and the server-side object decimation
 //! algorithm of Fig. 3.
 
-use rand::Rng;
-use rand::SeedableRng;
+use simcore::rand::Rng;
+use simcore::rand::SeedableRng;
 
 /// An indexed triangle mesh.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,11 +58,7 @@ impl Mesh {
             let phi = std::f64::consts::PI * r as f64 / rings as f64;
             for s in 0..segments {
                 let theta = 2.0 * std::f64::consts::PI * s as f64 / segments as f64;
-                vertices.push([
-                    phi.sin() * theta.cos(),
-                    phi.cos(),
-                    phi.sin() * theta.sin(),
-                ]);
+                vertices.push([phi.sin() * theta.cos(), phi.cos(), phi.sin() * theta.sin()]);
             }
         }
         vertices.push([0.0, -1.0, 0.0]);
@@ -128,7 +124,7 @@ impl Mesh {
     /// assets.
     pub fn rock(seed: u64, rings: usize, segments: usize) -> Self {
         let mut mesh = Mesh::uv_sphere(rings, segments);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
         // Low-frequency lobes + per-vertex jitter.
         let lobes: Vec<([f64; 3], f64)> = (0..6)
             .map(|_| {
@@ -200,7 +196,8 @@ impl Mesh {
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    (n as i64 - target as i64).abs() < (b.triangle_count() as i64 - target as i64).abs()
+                    (n as i64 - target as i64).abs()
+                        < (b.triangle_count() as i64 - target as i64).abs()
                 }
             };
             if better {
@@ -306,7 +303,12 @@ mod tests {
         let m = Mesh::uv_sphere(40, 40); // 3,120 triangles... (2*40 + 38*40*2)
         let full = m.triangle_count();
         let dec = m.decimate(full / 4);
-        assert!(dec.triangle_count() < full / 2, "{} -> {}", full, dec.triangle_count());
+        assert!(
+            dec.triangle_count() < full / 2,
+            "{} -> {}",
+            full,
+            dec.triangle_count()
+        );
         assert!(dec.triangle_count() > 16);
         // Shape roughly preserved: bounding radius close to 1.
         assert!((dec.bounding_radius() - 1.0).abs() < 0.25);

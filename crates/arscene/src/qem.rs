@@ -133,7 +133,10 @@ pub fn decimate_qem(mesh: &Mesh, target_triangles: usize) -> Mesh {
     let mut incident: Vec<HashSet<usize>> = vec![HashSet::new(); positions.len()];
     for (fi, face) in faces.iter().enumerate() {
         let [i, j, k] = face.expect("all faces live initially");
-        let n = cross(sub(positions[j], positions[i]), sub(positions[k], positions[i]));
+        let n = cross(
+            sub(positions[j], positions[i]),
+            sub(positions[k], positions[i]),
+        );
         let len = norm(n);
         if len < 1e-15 {
             continue; // degenerate input face contributes no plane
@@ -171,7 +174,12 @@ pub fn decimate_qem(mesh: &Mesh, target_triangles: usize) -> Mesh {
         for (a, b) in [(face[0], face[1]), (face[1], face[2]), (face[2], face[0])] {
             let key = (a.min(b), a.max(b));
             if seen_edges.insert(key) {
-                let (_, err) = best_target(&quadrics[key.0], &quadrics[key.1], positions[key.0], positions[key.1]);
+                let (_, err) = best_target(
+                    &quadrics[key.0],
+                    &quadrics[key.1],
+                    positions[key.0],
+                    positions[key.1],
+                );
                 heap.push(Reverse(Candidate {
                     error_bits: err.to_bits(),
                     a: key.0,
@@ -316,7 +324,10 @@ mod tests {
             ..RenderOptions::default()
         };
         let reference = render_mesh(mesh.vertices(), mesh.triangles(), &opts);
-        let g_qem = gmsd(&reference, &render_mesh(qem.vertices(), qem.triangles(), &opts));
+        let g_qem = gmsd(
+            &reference,
+            &render_mesh(qem.vertices(), qem.triangles(), &opts),
+        );
         let g_cluster = gmsd(
             &reference,
             &render_mesh(cluster.vertices(), cluster.triangles(), &opts),

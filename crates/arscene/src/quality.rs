@@ -1,12 +1,10 @@
 //! The virtual-object quality model of the paper (Eq. 1–2), borrowed from
 //! eAR (Didar & Brocanelli, IEEE TMC 2023).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-object parameters `(a, b, c, d)` of the degradation model
 /// `D_err(R, D) = (a R² + b R + c) / D^d` — Eq. (1). Trained offline by
 /// the [`crate::fit`] pipeline (GMSD over rasterized decimated meshes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityParams {
     /// Quadratic coefficient of the decimation-ratio polynomial.
     pub a: f64,
@@ -47,7 +45,7 @@ impl QualityParams {
 
 /// Eq. (1) bound to one object: evaluates normalized degradation and
 /// quality at a `(decimation ratio, user-object distance)` pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegradationModel {
     params: QualityParams,
 }
@@ -114,7 +112,8 @@ pub fn average_quality(objects: &[(DegradationModel, f64, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::check::{self, f64s};
+    use simcore::prop_assert;
 
     fn model() -> DegradationModel {
         // A representative trained curve: zero error at R = 1.
@@ -191,17 +190,29 @@ mod tests {
         model().degradation(0.5, 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn degradation_always_in_unit_interval(r in 0.0f64..=1.0, dist in 0.1f64..10.0) {
-            let e = model().degradation(r, dist);
-            prop_assert!((0.0..=1.0).contains(&e));
-        }
+    #[test]
+    fn degradation_always_in_unit_interval() {
+        check::check(
+            "degradation_always_in_unit_interval",
+            (f64s(0.0..=1.0), f64s(0.1..10.0)),
+            |&(r, dist)| {
+                let e = model().degradation(r, dist);
+                prop_assert!((0.0..=1.0).contains(&e));
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn quality_plus_degradation_is_one(r in 0.0f64..=1.0, dist in 0.1f64..10.0) {
-            let m = model();
-            prop_assert!((m.quality(r, dist) + m.degradation(r, dist) - 1.0).abs() < 1e-12);
-        }
+    #[test]
+    fn quality_plus_degradation_is_one() {
+        check::check(
+            "quality_plus_degradation_is_one",
+            (f64s(0.0..=1.0), f64s(0.1..10.0)),
+            |&(r, dist)| {
+                let m = model();
+                prop_assert!((m.quality(r, dist) + m.degradation(r, dist) - 1.0).abs() < 1e-12);
+                Ok(())
+            },
+        );
     }
 }

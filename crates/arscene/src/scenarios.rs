@@ -139,7 +139,7 @@ mod tests {
     fn sc1_matches_table2() {
         let s = sc1();
         assert_eq!(s.len(), 9); // 1 + 1 + 4 + 1 + 2
-        // 86,016 + 178,552 + 4·146,803 + 146,803 + 2·94,080 = 1,186,743.
+                                // 86,016 + 178,552 + 4·146,803 + 146,803 + 2·94,080 = 1,186,743.
         assert_eq!(s.total_max_triangles(), 1_186_743);
     }
 
@@ -147,7 +147,7 @@ mod tests {
     fn sc2_matches_table2() {
         let s = sc2();
         assert_eq!(s.len(), 7); // 1 + 2 + 2 + 2
-        // 2,324 + 2·2,304 + 2·4,907 + 2·6,250 = 29,246.
+                                // 2,324 + 2·2,304 + 2·4,907 + 2·6,250 = 29,246.
         assert_eq!(s.total_max_triangles(), 29_246);
     }
 

@@ -1,12 +1,10 @@
 //! The live AR scene: objects on screen, user distance, render load, and
 //! HBO's triangle distribution (the `TD` function of Algorithm 1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::quality::{DegradationModel, QualityParams};
 
 /// Handle to an object within a [`Scene`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ObjectId(usize);
 
 impl ObjectId {
@@ -17,7 +15,7 @@ impl ObjectId {
 }
 
 /// A virtual object on screen.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VirtualObject {
     name: String,
     max_triangles: u64,
@@ -104,7 +102,7 @@ const BACKFACE_VISIBLE: f64 = 0.5;
 /// scene.distribute_triangles(0.6);
 /// assert!((scene.current_triangles() - 60_000.0).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scene {
     objects: Vec<VirtualObject>,
     user_distance: f64,
@@ -347,11 +345,17 @@ impl Scene {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::check::{self, f64s, usizes};
+    use simcore::prop_assert;
 
     fn heavy() -> VirtualObject {
         // Oversampled object: decimation barely hurts.
-        VirtualObject::new("heavy", 150_000, QualityParams::new(0.18, -0.45, 0.27, 1.2), 1.0)
+        VirtualObject::new(
+            "heavy",
+            150_000,
+            QualityParams::new(0.18, -0.45, 0.27, 1.2),
+            1.0,
+        )
     }
 
     fn light() -> VirtualObject {
@@ -463,45 +467,65 @@ mod tests {
         assert!(sens[1] > sens[0]);
     }
 
-    proptest! {
-        #[test]
-        fn td_quality_is_monotone_in_budget(
-            x1 in 0.1f64..=0.95,
-            dx in 0.01f64..0.5,
-            n_heavy in 1usize..4,
-            n_light in 1usize..4,
-        ) {
-            // More triangle budget never lowers the achievable average
-            // quality under the TD distribution.
-            let x2 = (x1 + dx).min(1.0);
-            let mut objs = Vec::new();
-            for _ in 0..n_heavy { objs.push(heavy()); }
-            for _ in 0..n_light { objs.push(light()); }
-            let mut a = scene_with(objs.clone());
-            let mut b = scene_with(objs);
-            a.distribute_triangles(x1);
-            b.distribute_triangles(x2);
-            prop_assert!(
-                b.average_quality() >= a.average_quality() - 1e-6,
-                "Q({x2}) = {} < Q({x1}) = {}",
-                b.average_quality(),
-                a.average_quality()
-            );
-        }
+    #[test]
+    fn td_quality_is_monotone_in_budget() {
+        check::check(
+            "td_quality_is_monotone_in_budget",
+            (
+                f64s(0.1..=0.95),
+                f64s(0.01..0.5),
+                usizes(1..4),
+                usizes(1..4),
+            ),
+            |&(x1, dx, n_heavy, n_light)| {
+                // More triangle budget never lowers the achievable average
+                // quality under the TD distribution.
+                let x2 = (x1 + dx).min(1.0);
+                let mut objs = Vec::new();
+                for _ in 0..n_heavy {
+                    objs.push(heavy());
+                }
+                for _ in 0..n_light {
+                    objs.push(light());
+                }
+                let mut a = scene_with(objs.clone());
+                let mut b = scene_with(objs);
+                a.distribute_triangles(x1);
+                b.distribute_triangles(x2);
+                prop_assert!(
+                    b.average_quality() >= a.average_quality() - 1e-6,
+                    "Q({x2}) = {} < Q({x1}) = {}",
+                    b.average_quality(),
+                    a.average_quality()
+                );
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn td_budget_conservation_property(x in 0.05f64..=1.0, n_heavy in 1usize..4, n_light in 1usize..4) {
-            let mut objs = Vec::new();
-            for _ in 0..n_heavy { objs.push(heavy()); }
-            for _ in 0..n_light { objs.push(light()); }
-            let mut s = scene_with(objs);
-            s.distribute_triangles(x);
-            // Budget respected within tolerance and never exceeded much.
-            prop_assert!(s.overall_ratio() <= x + 0.02);
-            // All ratios feasible.
-            for o in s.objects() {
-                prop_assert!((0.0..=1.0).contains(&o.ratio()));
-            }
-        }
+    #[test]
+    fn td_budget_conservation_property() {
+        check::check(
+            "td_budget_conservation_property",
+            (f64s(0.05..=1.0), usizes(1..4), usizes(1..4)),
+            |&(x, n_heavy, n_light)| {
+                let mut objs = Vec::new();
+                for _ in 0..n_heavy {
+                    objs.push(heavy());
+                }
+                for _ in 0..n_light {
+                    objs.push(light());
+                }
+                let mut s = scene_with(objs);
+                s.distribute_triangles(x);
+                // Budget respected within tolerance and never exceeded much.
+                prop_assert!(s.overall_ratio() <= x + 0.02);
+                // All ratios feasible.
+                for o in s.objects() {
+                    prop_assert!((0.0..=1.0).contains(&o.ratio()));
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -6,8 +6,6 @@
 //! all three are implemented so the ablation bench can reproduce that
 //! comparison.
 
-use serde::{Deserialize, Serialize};
-
 /// Standard normal probability density function.
 pub fn normal_pdf(u: f64) -> f64 {
     (-0.5 * u * u).exp() / (2.0 * std::f64::consts::PI).sqrt()
@@ -26,13 +24,14 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
 /// An acquisition function scoring candidate points for *minimization*:
 /// larger scores are more promising.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Acquisition {
     /// Expected improvement over the incumbent (the paper's choice).
     ExpectedImprovement {
@@ -86,7 +85,8 @@ impl Acquisition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::check::{self, f64s};
+    use simcore::prop_assert;
 
     #[test]
     fn cdf_reference_values() {
@@ -147,24 +147,39 @@ mod tests {
         assert!(explorer.score(0.5, 1.0, 0.0) > explorer.score(0.4, 0.0, 0.0));
     }
 
-    proptest! {
-        #[test]
-        fn ei_and_pi_are_nonnegative(mu in -5.0f64..5.0, var in 0.0f64..4.0, best in -5.0f64..5.0) {
-            let ei = Acquisition::ExpectedImprovement { xi: 0.0 }.score(mu, var, best);
-            let pi = Acquisition::ProbabilityOfImprovement { xi: 0.0 }.score(mu, var, best);
-            prop_assert!(ei >= -1e-12);
-            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&pi));
-        }
+    #[test]
+    fn ei_and_pi_are_nonnegative() {
+        check::check(
+            "ei_and_pi_are_nonnegative",
+            (f64s(-5.0..5.0), f64s(0.0..4.0), f64s(-5.0..5.0)),
+            |&(mu, var, best)| {
+                let ei = Acquisition::ExpectedImprovement { xi: 0.0 }.score(mu, var, best);
+                let pi = Acquisition::ProbabilityOfImprovement { xi: 0.0 }.score(mu, var, best);
+                prop_assert!(ei >= -1e-12);
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&pi));
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn cdf_is_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
-            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-            prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
-        }
+    #[test]
+    fn cdf_is_monotone() {
+        check::check(
+            "cdf_is_monotone",
+            (f64s(-6.0..6.0), f64s(-6.0..6.0)),
+            |&(a, b)| {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn erf_symmetry(x in -4.0f64..4.0) {
+    #[test]
+    fn erf_symmetry() {
+        check::check("erf_symmetry", f64s(-4.0..4.0), |&x| {
             prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,7 +1,5 @@
 //! Covariance kernels for the Gaussian-process surrogate.
 
-use serde::{Deserialize, Serialize};
-
 use crate::linalg::euclidean;
 
 /// A stationary covariance kernel `k(z, z')`.
@@ -9,7 +7,7 @@ use crate::linalg::euclidean;
 /// The paper uses **Matérn with ν = 5/2** (Eq. 7) with length scale
 /// `ℓ = 1`; the other members of the family (ν = 1/2, 3/2, ∞ = RBF) are
 /// provided for the ablation benches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Kernel {
     /// Matérn ν = 1/2 (exponential kernel): very rough functions.
     Matern12 {
@@ -114,7 +112,8 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::check::{self, f64s, vec as cvec};
+    use simcore::prop_assert;
 
     const KERNELS: [Kernel; 4] = [
         Kernel::Matern12 {
@@ -168,36 +167,58 @@ mod tests {
         assert!(v12 < v32 && v32 < v52);
     }
 
-    proptest! {
-        #[test]
-        fn kernels_are_monotone_decreasing_and_bounded(r1 in 0.0f64..10.0, r2 in 0.0f64..10.0) {
-            let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
-            for k in KERNELS {
-                let a = k.eval_dist(lo);
-                let b = k.eval_dist(hi);
-                prop_assert!(a >= b - 1e-12, "{k:?} not decreasing: k({lo})={a} < k({hi})={b}");
-                prop_assert!(a <= 1.0 + 1e-12 && b >= 0.0);
-            }
-        }
+    #[test]
+    fn kernels_are_monotone_decreasing_and_bounded() {
+        check::check(
+            "kernels_are_monotone_decreasing_and_bounded",
+            (f64s(0.0..10.0), f64s(0.0..10.0)),
+            |&(r1, r2)| {
+                let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+                for k in KERNELS {
+                    let a = k.eval_dist(lo);
+                    let b = k.eval_dist(hi);
+                    prop_assert!(
+                        a >= b - 1e-12,
+                        "{k:?} not decreasing: k({lo})={a} < k({hi})={b}"
+                    );
+                    prop_assert!(a <= 1.0 + 1e-12 && b >= 0.0);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn symmetric_in_arguments(a in prop::collection::vec(-5.0f64..5.0, 3), b in prop::collection::vec(-5.0f64..5.0, 3)) {
-            for k in KERNELS {
-                prop_assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-12);
-            }
-        }
+    #[test]
+    fn symmetric_in_arguments() {
+        check::check(
+            "symmetric_in_arguments",
+            (cvec(f64s(-5.0..5.0), 3..=3), cvec(f64s(-5.0..5.0), 3..=3)),
+            |(a, b)| {
+                for k in KERNELS {
+                    prop_assert!((k.eval(a, b) - k.eval(b, a)).abs() < 1e-12);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn gram_matrices_are_positive_semidefinite(points in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 2), 2..6)) {
-            use crate::linalg::{Cholesky, Matrix};
-            for k in KERNELS {
-                let n = points.len();
-                // Jittered Gram matrix must be PD for distinct-ish points.
-                let gram = Matrix::from_fn(n, n, |r, c| {
-                    k.eval(&points[r], &points[c]) + if r == c { 1e-6 } else { 0.0 }
-                });
-                prop_assert!(Cholesky::new(&gram).is_ok(), "{k:?} gram not PSD");
-            }
-        }
+    #[test]
+    fn gram_matrices_are_positive_semidefinite() {
+        check::check(
+            "gram_matrices_are_positive_semidefinite",
+            cvec(cvec(f64s(-2.0..2.0), 2..=2), 2..6),
+            |points| {
+                use crate::linalg::{Cholesky, Matrix};
+                for k in KERNELS {
+                    let n = points.len();
+                    // Jittered Gram matrix must be PD for distinct-ish points.
+                    let gram = Matrix::from_fn(n, n, |r, c| {
+                        k.eval(&points[r], &points[c]) + if r == c { 1e-6 } else { 0.0 }
+                    });
+                    prop_assert!(Cholesky::new(&gram).is_ok(), "{k:?} gram not PSD");
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -22,12 +22,12 @@
 //!
 //! ```
 //! use bayesopt::{BoConfig, BoOptimizer, space::BoxSpace};
-//! use rand::SeedableRng;
+//! use simcore::rand::SeedableRng;
 //!
 //! // Minimize (z - 0.3)^2 on [0, 1].
 //! let space = BoxSpace::new(vec![(0.0, 1.0)]);
 //! let mut bo = BoOptimizer::new(space, BoConfig::default());
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = simcore::rand::StdRng::seed_from_u64(7);
 //! for _ in 0..25 {
 //!     let z = bo.suggest(&mut rng);
 //!     let cost = (z[0] - 0.3) * (z[0] - 0.3);

@@ -233,10 +233,7 @@ impl Cholesky {
 
     /// `log |A|`, cheap from the factor's diagonal.
     pub fn log_det(&self) -> f64 {
-        (0..self.dim())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 }
 
@@ -267,7 +264,8 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::check::{self, f64s, vec as cvec};
+    use simcore::prop_assert;
 
     #[test]
     fn identity_solves_trivially() {
@@ -329,37 +327,48 @@ mod tests {
         })
     }
 
-    proptest! {
-        #[test]
-        fn cholesky_round_trips(values in prop::collection::vec(-3.0f64..3.0, 16), b in prop::collection::vec(-5.0f64..5.0, 4)) {
-            let a = spd_from(&values, 4);
-            let chol = Cholesky::new(&a).unwrap();
-            // L Lᵀ == A
-            let l = chol.l();
-            let recon = Matrix::from_fn(4, 4, |r, c| {
-                (0..4).map(|k| l.get(r, k) * l.get(c, k)).sum()
-            });
-            prop_assert!(recon.approx_eq(&a, 1e-9));
-            // A x == b after solve.
-            let x = chol.solve(&b);
-            let back = a.mul_vec(&x);
-            for (u, v) in back.iter().zip(&b) {
-                prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
-            }
-        }
+    #[test]
+    fn cholesky_round_trips() {
+        check::check(
+            "cholesky_round_trips",
+            (cvec(f64s(-3.0..3.0), 16..=16), cvec(f64s(-5.0..5.0), 4..=4)),
+            |(values, b)| {
+                let a = spd_from(values, 4);
+                let chol = Cholesky::new(&a).unwrap();
+                // L Lᵀ == A
+                let l = chol.l();
+                let recon =
+                    Matrix::from_fn(4, 4, |r, c| (0..4).map(|k| l.get(r, k) * l.get(c, k)).sum());
+                prop_assert!(recon.approx_eq(&a, 1e-9));
+                // A x == b after solve.
+                let x = chol.solve(b);
+                let back = a.mul_vec(&x);
+                for (u, v) in back.iter().zip(b) {
+                    prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn solve_lower_upper_consistency(values in prop::collection::vec(-2.0f64..2.0, 9), b in prop::collection::vec(-5.0f64..5.0, 3)) {
-            let a = spd_from(&values, 3);
-            let chol = Cholesky::new(&a).unwrap();
-            let y = chol.solve_lower(&b);
-            // L y == b
-            let back: Vec<f64> = (0..3)
-                .map(|i| (0..=i).map(|k| chol.l().get(i, k) * y[k]).sum())
-                .collect();
-            for (u, v) in back.iter().zip(&b) {
-                prop_assert!((u - v).abs() < 1e-8);
-            }
-        }
+    #[test]
+    fn solve_lower_upper_consistency() {
+        check::check(
+            "solve_lower_upper_consistency",
+            (cvec(f64s(-2.0..2.0), 9..=9), cvec(f64s(-5.0..5.0), 3..=3)),
+            |(values, b)| {
+                let a = spd_from(values, 3);
+                let chol = Cholesky::new(&a).unwrap();
+                let y = chol.solve_lower(b);
+                // L y == b
+                let back: Vec<f64> = (0..3)
+                    .map(|i| (0..=i).map(|k| chol.l().get(i, k) * y[k]).sum())
+                    .collect();
+                for (u, v) in back.iter().zip(b) {
+                    prop_assert!((u - v).abs() < 1e-8);
+                }
+                Ok(())
+            },
+        );
     }
 }

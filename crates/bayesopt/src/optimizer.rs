@@ -1,6 +1,6 @@
 //! The Bayesian-optimization loop: suggest → evaluate → observe.
 
-use rand::RngCore;
+use simcore::rand::RngCore;
 
 use crate::acquisition::Acquisition;
 use crate::gp::GaussianProcess;
@@ -171,10 +171,10 @@ impl<S: SampleSpace> BoOptimizer<S> {
 mod tests {
     use super::*;
     use crate::space::{BoxSpace, SimplexBoxSpace};
-    use rand::SeedableRng;
+    use simcore::rand::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> simcore::rand::StdRng {
+        simcore::rand::StdRng::seed_from_u64(seed)
     }
 
     fn run_quadratic(seed: u64, iters: usize) -> f64 {

@@ -7,7 +7,7 @@
 //! box-bounded problems (used by tests and the BNT baseline with no
 //! triangle dimension).
 
-use rand::Rng;
+use simcore::rand::Rng;
 
 /// A constrained space of candidate points that the optimizer can sample
 /// from, locally perturb within, and project onto.
@@ -16,15 +16,12 @@ pub trait SampleSpace {
     fn dim(&self) -> usize;
 
     /// Draws a uniform-ish random feasible point.
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Vec<f64>;
+    fn sample(&self, rng: &mut dyn simcore::rand::RngCore) -> Vec<f64>;
 
     /// Draws a feasible point near `base` (Gaussian perturbation of width
     /// `scale`, projected back onto the feasible set).
-    fn perturb(&self, base: &[f64], scale: f64, rng: &mut dyn rand::RngCore) -> Vec<f64> {
-        let mut z: Vec<f64> = base
-            .iter()
-            .map(|&v| v + scale * gaussian(rng))
-            .collect();
+    fn perturb(&self, base: &[f64], scale: f64, rng: &mut dyn simcore::rand::RngCore) -> Vec<f64> {
+        let mut z: Vec<f64> = base.iter().map(|&v| v + scale * gaussian(rng)).collect();
         self.project(&mut z);
         z
     }
@@ -37,7 +34,7 @@ pub trait SampleSpace {
 }
 
 /// Standard normal via Box–Muller (object-safe: takes `&mut dyn RngCore`).
-fn gaussian(rng: &mut dyn rand::RngCore) -> f64 {
+fn gaussian(rng: &mut dyn simcore::rand::RngCore) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -58,7 +55,10 @@ impl BoxSpace {
     pub fn new(bounds: Vec<(f64, f64)>) -> Self {
         assert!(!bounds.is_empty(), "box needs at least one dimension");
         for &(lo, hi) in &bounds {
-            assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad bound ({lo}, {hi})");
+            assert!(
+                lo <= hi && lo.is_finite() && hi.is_finite(),
+                "bad bound ({lo}, {hi})"
+            );
         }
         BoxSpace { bounds }
     }
@@ -74,7 +74,7 @@ impl SampleSpace for BoxSpace {
         self.bounds.len()
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+    fn sample(&self, rng: &mut dyn simcore::rand::RngCore) -> Vec<f64> {
         self.bounds
             .iter()
             .map(|&(lo, hi)| if lo == hi { lo } else { rng.gen_range(lo..hi) })
@@ -104,10 +104,10 @@ impl SampleSpace for BoxSpace {
 ///
 /// ```
 /// use bayesopt::space::{SampleSpace, SimplexBoxSpace};
-/// use rand::SeedableRng;
+/// use simcore::rand::SeedableRng;
 ///
 /// let space = SimplexBoxSpace::new(3, 0.2, 1.0);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = simcore::rand::StdRng::seed_from_u64(0);
 /// let z = space.sample(&mut rng);
 /// let c_sum: f64 = z[..3].iter().sum();
 /// assert!((c_sum - 1.0).abs() < 1e-9);
@@ -161,7 +161,7 @@ impl SampleSpace for SimplexBoxSpace {
         self.simplex_dim + 1
     }
 
-    fn sample(&self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+    fn sample(&self, rng: &mut dyn simcore::rand::RngCore) -> Vec<f64> {
         // Uniform on the simplex: normalized standard exponentials
         // (Dirichlet(1, …, 1)).
         let mut z: Vec<f64> = (0..self.simplex_dim)
@@ -219,11 +219,12 @@ impl SampleSpace for SimplexBoxSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use simcore::check::{self, f64s, vec as cvec};
+    use simcore::prop_assert;
+    use simcore::rand::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> simcore::rand::StdRng {
+        simcore::rand::StdRng::seed_from_u64(seed)
     }
 
     #[test]
@@ -314,18 +315,23 @@ mod tests {
         SimplexBoxSpace::new(3, 0.9, 0.2);
     }
 
-    proptest! {
-        #[test]
-        fn simplex_projection_is_idempotent(raw in prop::collection::vec(-2.0f64..2.0, 4)) {
-            let space = SimplexBoxSpace::new(3, 0.2, 1.0);
-            let mut z = raw.clone();
-            space.project(&mut z);
-            prop_assert!(space.contains(&z, 1e-9));
-            let mut z2 = z.clone();
-            space.project(&mut z2);
-            for (a, b) in z.iter().zip(&z2) {
-                prop_assert!((a - b).abs() < 1e-12);
-            }
-        }
+    #[test]
+    fn simplex_projection_is_idempotent() {
+        check::check(
+            "simplex_projection_is_idempotent",
+            cvec(f64s(-2.0..2.0), 4..=4),
+            |raw| {
+                let space = SimplexBoxSpace::new(3, 0.2, 1.0);
+                let mut z = raw.clone();
+                space.project(&mut z);
+                prop_assert!(space.contains(&z, 1e-9));
+                let mut z2 = z.clone();
+                space.project(&mut z2);
+                for (a, b) in z.iter().zip(&z2) {
+                    prop_assert!((a - b).abs() < 1e-12);
+                }
+                Ok(())
+            },
+        );
     }
 }

@@ -1,10 +1,13 @@
-//! Criterion targets that regenerate (trimmed versions of) every table and
+//! Walltime targets that regenerate (trimmed versions of) every table and
 //! figure, so `cargo bench` exercises the complete reproduction pipeline.
 //! The full-fidelity outputs come from the `src/bin/*` binaries; these
 //! benches run reduced budgets to keep `cargo bench` wall time sane while
 //! still covering every experiment's code path end to end.
+//!
+//! Runs on the in-tree `hbo_bench::harness` — no external benchmarking
+//! crate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hbo_bench::harness::Harness;
 use hbo_core::HboConfig;
 use marsim::ScenarioSpec;
 use std::hint::black_box;
@@ -17,149 +20,121 @@ fn quick_config() -> HboConfig {
     }
 }
 
-fn table1_isolated(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("table1_isolated", |b| {
-        let device = soc::DeviceProfile::pixel7();
-        let zoo = nnmodel::ModelZoo::pixel7();
-        let model = zoo.get("inception-v1-q").unwrap();
-        b.iter(|| {
-            black_box(marsim::isolated::isolated_latency(
-                &device,
-                model,
-                nnmodel::Delegate::Nnapi,
-            ))
-        })
+fn table1_isolated(h: &mut Harness) {
+    let device = soc::DeviceProfile::pixel7();
+    let zoo = nnmodel::ModelZoo::pixel7();
+    let model = zoo.get("inception-v1-q").unwrap();
+    h.bench("table1_isolated", || {
+        black_box(marsim::isolated::isolated_latency(
+            &device,
+            model,
+            nnmodel::Delegate::Nnapi,
+        ))
     });
-    g.finish();
 }
 
-fn fig2_contention(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("fig2_contention", |b| {
-        let device = soc::DeviceProfile::galaxy_s22();
-        let zoo = nnmodel::ModelZoo::galaxy_s22();
-        let script = vec![
-            marsim::timeline::ScriptPoint {
-                at_secs: 0.0,
-                event: marsim::timeline::ScriptEvent::StartTask {
-                    model: "deeplabv3".to_owned(),
-                    delegate: nnmodel::Delegate::Nnapi,
-                },
+fn fig2_contention(h: &mut Harness) {
+    let device = soc::DeviceProfile::galaxy_s22();
+    let zoo = nnmodel::ModelZoo::galaxy_s22();
+    let script = vec![
+        marsim::timeline::ScriptPoint {
+            at_secs: 0.0,
+            event: marsim::timeline::ScriptEvent::StartTask {
+                model: "deeplabv3".to_owned(),
+                delegate: nnmodel::Delegate::Nnapi,
             },
-            marsim::timeline::ScriptPoint {
-                at_secs: 2.0,
-                event: marsim::timeline::ScriptEvent::SetRenderLoad {
-                    visible_tris: 400_000.0,
-                    objects: 5,
-                },
+        },
+        marsim::timeline::ScriptPoint {
+            at_secs: 2.0,
+            event: marsim::timeline::ScriptEvent::SetRenderLoad {
+                visible_tris: 400_000.0,
+                objects: 5,
             },
-        ];
-        b.iter(|| black_box(marsim::timeline::run_script(&device, &zoo, &script, 6.0, 1.0)))
+        },
+    ];
+    h.bench("fig2_contention", || {
+        black_box(marsim::timeline::run_script(
+            &device, &zoo, &script, 6.0, 1.0,
+        ))
     });
-    g.finish();
 }
 
-fn fig4_hbo_scenarios(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("fig4_hbo_scenarios", |b| {
-        let spec = ScenarioSpec::sc2_cf2();
-        let config = quick_config();
-        b.iter(|| black_box(marsim::experiment::run_hbo(&spec, &config, 7)))
+fn fig4_hbo_scenarios(h: &mut Harness) {
+    let spec = ScenarioSpec::sc2_cf2();
+    let config = quick_config();
+    h.bench("fig4_hbo_scenarios", || {
+        black_box(marsim::experiment::run_hbo(&spec, &config, 7))
     });
-    g.finish();
 }
 
-fn fig5_baselines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("fig5_baselines", |b| {
-        let spec = ScenarioSpec::sc2_cf2();
-        let config = quick_config();
-        b.iter(|| black_box(marsim::experiment::compare_baselines(&spec, &config, 7)))
+fn fig5_baselines(h: &mut Harness) {
+    let spec = ScenarioSpec::sc2_cf2();
+    let config = quick_config();
+    h.bench("fig5_baselines", || {
+        black_box(marsim::experiment::compare_baselines(&spec, &config, 7))
     });
-    g.finish();
 }
 
-fn fig6_convergence_detail(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("fig6_convergence_detail", |b| {
-        let spec = ScenarioSpec::sc1_cf1();
-        let config = quick_config();
-        b.iter(|| {
-            let run = marsim::experiment::run_hbo(&spec, &config, 6);
-            black_box((run.consecutive_distances(), run.best_cost_trace))
-        })
+fn fig6_convergence_detail(h: &mut Harness) {
+    let spec = ScenarioSpec::sc1_cf1();
+    let config = quick_config();
+    h.bench("fig6_convergence_detail", || {
+        let run = marsim::experiment::run_hbo(&spec, &config, 6);
+        black_box((run.consecutive_distances(), run.best_cost_trace))
     });
-    g.finish();
 }
 
-fn fig7_robustness(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("fig7_robustness", |b| {
-        let spec = ScenarioSpec::sc2_cf2();
-        let config = quick_config();
-        b.iter(|| {
-            let costs: Vec<f64> = (0..2)
-                .map(|i| marsim::experiment::run_hbo(&spec, &config, 700 + i).best.cost)
-                .collect();
-            black_box(costs)
-        })
+fn fig7_robustness(h: &mut Harness) {
+    let spec = ScenarioSpec::sc2_cf2();
+    let config = quick_config();
+    h.bench("fig7_robustness", || {
+        let costs: Vec<f64> = (0..2)
+            .map(|i| {
+                marsim::experiment::run_hbo(&spec, &config, 700 + i)
+                    .best
+                    .cost
+            })
+            .collect();
+        black_box(costs)
     });
-    g.finish();
 }
 
-fn fig8_activation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.sample_size(10);
-    g.bench_function("fig8_activation", |b| {
-        let spec = ScenarioSpec::sc2_cf1();
-        let config = HboConfig {
-            n_initial: 1,
-            iterations: 1,
-            ..HboConfig::default()
-        };
-        b.iter(|| {
-            black_box(marsim::timeline::run_activation_study(
-                &spec,
-                &config,
-                marsim::timeline::PolicyKind::EventBased,
-                &[2.0, 10.0],
-                &[],
-                30.0,
-                88,
-            ))
-        })
+fn fig8_activation(h: &mut Harness) {
+    let spec = ScenarioSpec::sc2_cf1();
+    let config = HboConfig {
+        n_initial: 1,
+        iterations: 1,
+        ..HboConfig::default()
+    };
+    h.bench("fig8_activation", || {
+        black_box(marsim::timeline::run_activation_study(
+            &spec,
+            &config,
+            marsim::timeline::PolicyKind::EventBased,
+            &[2.0, 10.0],
+            &[],
+            30.0,
+            88,
+        ))
     });
-    g.finish();
 }
 
-fn fig9_userstudy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("experiments");
-    g.bench_function("fig9_userstudy", |b| {
-        let panel = marsim::userstudy::RaterPanel::of_seven(9);
-        let mut scene = arscene::scenarios::sc1();
-        scene.distribute_triangles(0.52);
-        let q = scene.average_quality();
-        b.iter(|| black_box(panel.mean_score(q, "bench")))
-    });
-    g.finish();
+fn fig9_userstudy(h: &mut Harness) {
+    let panel = marsim::userstudy::RaterPanel::of_seven(9);
+    let mut scene = arscene::scenarios::sc1();
+    scene.distribute_triangles(0.52);
+    let q = scene.average_quality();
+    h.bench("fig9_userstudy", || black_box(panel.mean_score(q, "bench")));
 }
 
-criterion_group!(
-    benches,
-    table1_isolated,
-    fig2_contention,
-    fig4_hbo_scenarios,
-    fig5_baselines,
-    fig6_convergence_detail,
-    fig7_robustness,
-    fig8_activation,
-    fig9_userstudy
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("experiments").samples(10);
+    table1_isolated(&mut h);
+    fig2_contention(&mut h);
+    fig4_hbo_scenarios(&mut h);
+    fig5_baselines(&mut h);
+    fig6_convergence_detail(&mut h);
+    fig7_robustness(&mut h);
+    fig8_activation(&mut h);
+    fig9_userstudy(&mut h);
+}

@@ -1,57 +1,53 @@
-//! Criterion benchmarks of the algorithmic kernels HBO runs at every
+//! Walltime benchmarks of the algorithmic kernels HBO runs at every
 //! activation: the per-iteration costs the paper's Section IV-D complexity
 //! analysis talks about (`O(K³ + MN log(MN) + L log(L))`), plus the
 //! substrates (rasterizer, GMSD, decimation, discrete-event simulation).
+//!
+//! Runs on the in-tree `hbo_bench::harness` (median-of-N walltime, JSON
+//! lines on stdout) — no external benchmarking crate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::SeedableRng;
+use bayesopt::SampleSpace;
+use hbo_bench::harness::Harness;
+use simcore::rand::{SeedableRng, StdRng};
 use std::hint::black_box;
 
-fn bench_gp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bayesopt");
+fn bench_gp(h: &mut Harness) {
     // GP fit at the paper's dataset size (20 observations, 4-D inputs).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = StdRng::seed_from_u64(1);
     let space = bayesopt::space::SimplexBoxSpace::new(3, 0.2, 1.0);
-    use bayesopt::SampleSpace;
     let points: Vec<Vec<f64>> = (0..20).map(|_| space.sample(&mut rng)).collect();
-    group.bench_function("gp_fit_20x4", |b| {
-        b.iter_batched(
-            || {
-                let mut gp = bayesopt::GaussianProcess::new(bayesopt::Kernel::paper_default(), 1e-3);
-                for (i, p) in points.iter().enumerate() {
-                    gp.add_observation(p.clone(), (i as f64).sin());
-                }
-                gp
-            },
-            |mut gp| gp.fit().unwrap(),
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench_batched(
+        "gp_fit_20x4",
+        || {
+            let mut gp = bayesopt::GaussianProcess::new(bayesopt::Kernel::paper_default(), 1e-3);
+            for (i, p) in points.iter().enumerate() {
+                gp.add_observation(p.clone(), (i as f64).sin());
+            }
+            gp
+        },
+        |mut gp| gp.fit().unwrap(),
+    );
     // One full BO suggestion (fit + 1280 candidate scores).
-    group.bench_function("bo_suggest_k20", |b| {
-        b.iter_batched(
-            || {
-                let mut bo = bayesopt::BoOptimizer::new(
-                    bayesopt::space::SimplexBoxSpace::new(3, 0.2, 1.0),
-                    bayesopt::BoConfig::default(),
-                );
-                let mut r = rand::rngs::StdRng::seed_from_u64(7);
-                for _ in 0..20 {
-                    let z = bo.suggest(&mut r);
-                    let cost = z[0] - z[3];
-                    bo.observe(z, cost);
-                }
-                (bo, r)
-            },
-            |(mut bo, mut r)| black_box(bo.suggest(&mut r)),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    h.bench_batched(
+        "bo_suggest_k20",
+        || {
+            let mut bo = bayesopt::BoOptimizer::new(
+                bayesopt::space::SimplexBoxSpace::new(3, 0.2, 1.0),
+                bayesopt::BoConfig::default(),
+            );
+            let mut r = StdRng::seed_from_u64(7);
+            for _ in 0..20 {
+                let z = bo.suggest(&mut r);
+                let cost = z[0] - z[3];
+                bo.observe(z, cost);
+            }
+            (bo, r)
+        },
+        |(mut bo, mut r)| black_box(bo.suggest(&mut r)),
+    );
 }
 
-fn bench_allocation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hbo_core");
+fn bench_allocation(h: &mut Harness) {
     let profiles: Vec<hbo_core::TaskProfile> = (0..6)
         .map(|i| {
             hbo_core::TaskProfile::new(
@@ -60,58 +56,51 @@ fn bench_allocation(c: &mut Criterion) {
             )
         })
         .collect();
-    group.bench_function("allocate_tasks_m6", |b| {
-        b.iter(|| black_box(hbo_core::allocate_tasks(&[0.4, 0.1, 0.5], &profiles)))
+    h.bench("allocate_tasks_m6", || {
+        black_box(hbo_core::allocate_tasks(&[0.4, 0.1, 0.5], &profiles))
     });
     let scene = arscene::scenarios::sc1();
-    group.bench_function("td_distribute_sc1", |b| {
-        b.iter_batched(
-            || scene.clone(),
-            |mut s| s.distribute_triangles(0.72),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    h.bench_batched(
+        "td_distribute_sc1",
+        || scene.clone(),
+        |mut s| s.distribute_triangles(0.72),
+    );
 }
 
-fn bench_substrates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrates");
-    group.sample_size(20);
-
+fn bench_substrates(h: &mut Harness) {
     let mesh = arscene::mesh::Mesh::rock(3, 24, 24);
-    group.bench_function("decimate_rock_1k_to_256", |b| {
-        b.iter(|| black_box(mesh.decimate(256)))
-    });
+    h.bench("decimate_rock_1k_to_256", || black_box(mesh.decimate(256)));
 
     let opts = iqa::RenderOptions {
         resolution: 96,
         ..iqa::RenderOptions::default()
     };
-    group.bench_function("raster_rock_96px", |b| {
-        b.iter(|| black_box(iqa::render_mesh(mesh.vertices(), mesh.triangles(), &opts)))
+    h.bench("raster_rock_96px", || {
+        black_box(iqa::render_mesh(mesh.vertices(), mesh.triangles(), &opts))
     });
 
     let img_a = iqa::render_mesh(mesh.vertices(), mesh.triangles(), &opts);
     let coarse = mesh.decimate(200);
     let img_b = iqa::render_mesh(coarse.vertices(), coarse.triangles(), &opts);
-    group.bench_function("gmsd_96px", |b| {
-        b.iter(|| black_box(iqa::gmsd(&img_a, &img_b)))
-    });
+    h.bench("gmsd_96px", || black_box(iqa::gmsd(&img_a, &img_b)));
 
     // DES throughput: one simulated second of the full SC1-CF1 app.
-    group.bench_function("socsim_sc1cf1_1s", |b| {
-        b.iter_batched(
-            || {
-                let mut app = marsim::MarApp::new(&marsim::ScenarioSpec::sc1_cf1());
-                app.place_all_objects();
-                app
-            },
-            |mut app| app.run_for_secs(1.0),
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+    h.bench_batched(
+        "socsim_sc1cf1_1s",
+        || {
+            let mut app = marsim::MarApp::new(&marsim::ScenarioSpec::sc1_cf1());
+            app.place_all_objects();
+            app
+        },
+        |mut app| app.run_for_secs(1.0),
+    );
 }
 
-criterion_group!(benches, bench_gp, bench_allocation, bench_substrates);
-criterion_main!(benches);
+fn main() {
+    let mut gp = Harness::from_args("bayesopt");
+    bench_gp(&mut gp);
+    let mut core = Harness::from_args("hbo_core");
+    bench_allocation(&mut core);
+    let mut substrates = Harness::from_args("substrates");
+    bench_substrates(&mut substrates);
+}

@@ -113,10 +113,34 @@ fn main() {
         ],
     );
     for (label, kernel) in [
-        ("Matern 1/2", Kernel::Matern12 { length_scale: 1.0, signal_var: 1.0 }),
-        ("Matern 3/2", Kernel::Matern32 { length_scale: 1.0, signal_var: 1.0 }),
-        ("Matern 5/2 (paper)", Kernel::Matern52 { length_scale: 1.0, signal_var: 1.0 }),
-        ("RBF", Kernel::Rbf { length_scale: 1.0, signal_var: 1.0 }),
+        (
+            "Matern 1/2",
+            Kernel::Matern12 {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            },
+        ),
+        (
+            "Matern 3/2",
+            Kernel::Matern32 {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            },
+        ),
+        (
+            "Matern 5/2 (paper)",
+            Kernel::Matern52 {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            },
+        ),
+        (
+            "RBF",
+            Kernel::Rbf {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            },
+        ),
     ] {
         evaluate(label, &with_kernel(kernel), &mut t);
     }

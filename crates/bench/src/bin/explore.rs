@@ -61,11 +61,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("iterations: {e}"))?
             }
             "--initial" => {
-                args.initial = value(&mut i)?.parse().map_err(|e| format!("initial: {e}"))?
+                args.initial = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("initial: {e}"))?
             }
             "--device" => args.device = value(&mut i)?,
             "--distance" => {
-                args.distance = Some(value(&mut i)?.parse().map_err(|e| format!("distance: {e}"))?)
+                args.distance = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("distance: {e}"))?,
+                )
             }
             "--baselines" => args.baselines = true,
             "--help" | "-h" => return Err("help".to_owned()),
@@ -127,7 +133,12 @@ fn main() {
 
     println!(
         "scenario {} on {} (seed {}, w = {}, {}+{} iterations, distance {:.2} m)\n",
-        spec.name, spec.device.name, args.seed, args.weight, args.initial, args.iterations,
+        spec.name,
+        spec.device.name,
+        args.seed,
+        args.weight,
+        args.initial,
+        args.iterations,
         spec.user_distance
     );
 
@@ -152,7 +163,11 @@ fn main() {
                 "iter {:>2}: x={:.2} alloc={} Q={:.3} eps={:.3} cost={:+.3}",
                 i + 1,
                 r.point.x,
-                r.point.allocation.iter().map(|d| d.letter()).collect::<String>(),
+                r.point
+                    .allocation
+                    .iter()
+                    .map(|d| d.letter())
+                    .collect::<String>(),
                 r.quality,
                 r.epsilon,
                 r.cost

@@ -85,7 +85,10 @@ fn main() {
             "mean steady reward".into(),
         ],
     );
-    for (label, trace) in [("event-based (paper)", &event), ("lookup-assisted (Sec. VI)", &assisted)] {
+    for (label, trace) in [
+        ("event-based (paper)", &event),
+        ("lookup-assisted (Sec. VI)", &assisted),
+    ] {
         let (acts, reuses, explore, reward) = summarize(trace);
         table.row(vec![
             label.to_owned(),

@@ -105,19 +105,19 @@ fn fig2a(device: &DeviceProfile, zoo: &ModelZoo) {
 fn fig2b(device: &DeviceProfile, zoo: &ModelZoo) {
     // The paper's narrated experiment: five deeplabv3 instances.
     let script = vec![
-        start(0.0, "deeplabv3", Delegate::Cpu), // C1
-        mv(25.0, 0, Delegate::Nnapi),           // N1 at t=25
+        start(0.0, "deeplabv3", Delegate::Cpu),    // C1
+        mv(25.0, 0, Delegate::Nnapi),              // N1 at t=25
         start(40.0, "deeplabv3", Delegate::Nnapi), // N2
         start(55.0, "deeplabv3", Delegate::Nnapi), // N3
         start(75.0, "deeplabv3", Delegate::Nnapi), // N4
         start(95.0, "deeplabv3", Delegate::Nnapi), // N5
-        mv(120.0, 4, Delegate::Cpu),            // C5: relief without objects
-        mv(140.0, 4, Delegate::Nnapi),          // N5: back
-        objects(150.0, 250_000.0, 4),           // first object batch
-        objects(180.0, 500_000.0, 8),           // second object batch
-        mv(200.0, 4, Delegate::Cpu),            // C5: now a big win for all
-        mv(215.0, 3, Delegate::Cpu),            // C4: second CPU resident fits
-        mv(230.0, 2, Delegate::Cpu),            // C3: third CPU resident queues
+        mv(120.0, 4, Delegate::Cpu),               // C5: relief without objects
+        mv(140.0, 4, Delegate::Nnapi),             // N5: back
+        objects(150.0, 250_000.0, 4),              // first object batch
+        objects(180.0, 500_000.0, 8),              // second object batch
+        mv(200.0, 4, Delegate::Cpu),               // C5: now a big win for all
+        mv(215.0, 3, Delegate::Cpu),               // C4: second CPU resident fits
+        mv(230.0, 2, Delegate::Cpu),               // C3: third CPU resident queues
     ];
     let trace = run_script(device, zoo, &script, 250.0, 1.0);
     print_trace("Fig. 2b — deeplabv3 x5 on NNAPI/CPU with objects", &trace);

@@ -118,6 +118,9 @@ fn main() {
         "Measured: lowest best cost = {} ({:.3}); avg iterations-to-converge = {:.1}",
         runs[min_idx].0.name,
         costs[min_idx],
-        runs.iter().map(|(_, r)| r.iterations_to_converge() as f64).sum::<f64>() / runs.len() as f64
+        runs.iter()
+            .map(|(_, r)| r.iterations_to_converge() as f64)
+            .sum::<f64>()
+            / runs.len() as f64
     );
 }

@@ -63,8 +63,8 @@ fn main() {
     );
     for b in Baseline::ALL {
         let o = result.outcome(b);
-        let mean_ms = o.measurement.per_task_ms.iter().sum::<f64>()
-            / o.measurement.per_task_ms.len() as f64;
+        let mean_ms =
+            o.measurement.per_task_ms.iter().sum::<f64>() / o.measurement.per_task_ms.len() as f64;
         t.row(vec![
             b.label().to_owned(),
             format!("{:.2}", o.x),

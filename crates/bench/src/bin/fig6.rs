@@ -58,7 +58,11 @@ fn main() {
             format!("{:.3}", r.quality),
             format!("{:.3}", r.epsilon),
             format!("{:+.3}", r.cost),
-            if i + 1 == best_iter { "  <-- best".into() } else { String::new() },
+            if i + 1 == best_iter {
+                "  <-- best".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{}", t.render());
@@ -96,7 +100,8 @@ fn main() {
         ],
     );
     for (i, name) in spec.task_names().iter().enumerate() {
-        let improvement = 100.0 * (smq_m.per_task_ms[i] - hbo_m.per_task_ms[i]) / hbo_m.per_task_ms[i];
+        let improvement =
+            100.0 * (smq_m.per_task_ms[i] - hbo_m.per_task_ms[i]) / hbo_m.per_task_ms[i];
         t.row(vec![
             name.clone(),
             run.best.point.allocation[i].to_string(),

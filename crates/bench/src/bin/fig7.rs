@@ -9,7 +9,10 @@ use marsim::experiment::run_hbo;
 use marsim::ScenarioSpec;
 
 fn study(spec: &ScenarioSpec) {
-    println!("== Fig. 7 — best-cost convergence across 6 runs ({}) ==", spec.name);
+    println!(
+        "== Fig. 7 — best-cost convergence across 6 runs ({}) ==",
+        spec.name
+    );
     let config = HboConfig::default();
     let mut finals = Vec::new();
     for run_idx in 0..6u64 {
@@ -43,7 +46,11 @@ fn study(spec: &ScenarioSpec) {
         - finals.iter().cloned().fold(f64::MAX, f64::min);
     println!(
         "   final best costs: [{}]  mean {:.3}, spread {:.3}\n",
-        finals.iter().map(|c| format!("{c:+.3}")).collect::<Vec<_>>().join(", "),
+        finals
+            .iter()
+            .map(|c| format!("{c:+.3}"))
+            .collect::<Vec<_>>()
+            .join(", "),
         mean,
         spread
     );

@@ -122,13 +122,19 @@ fn main() {
     let periodic = run_activation_study(
         &spec,
         &config,
-        PolicyKind::Periodic { interval_secs: 50.0 },
+        PolicyKind::Periodic {
+            interval_secs: 50.0,
+        },
         &placements,
         &distance_change,
         total,
         seeds::FIG8,
     );
-    print_trace("Fig. 8b — periodic activation (every 50 s)", &periodic, total);
+    print_trace(
+        "Fig. 8b — periodic activation (every 50 s)",
+        &periodic,
+        total,
+    );
 
     println!(
         "Paper check: the event policy activates only a handful of times (first\n\

@@ -92,9 +92,8 @@ fn main() {
             "mean per-task ms".into(),
         ],
     );
-    let mean = |m: &marsim::Measurement| {
-        m.per_task_ms.iter().sum::<f64>() / m.per_task_ms.len() as f64
-    };
+    let mean =
+        |m: &marsim::Measurement| m.per_task_ms.iter().sum::<f64>() / m.per_task_ms.len() as f64;
     t.row(vec![
         "fine-grained (per-op greedy), x=1".into(),
         "1.00".into(),

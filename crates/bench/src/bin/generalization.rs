@@ -24,7 +24,9 @@ fn main() {
         ..HboConfig::default()
     };
     let mut table = Table::new(
-        format!("Generalization — HBO vs static-best/full-quality on {N_SCENARIOS} random scenarios"),
+        format!(
+            "Generalization — HBO vs static-best/full-quality on {N_SCENARIOS} random scenarios"
+        ),
         vec![
             "scenario".into(),
             "objects".into(),
@@ -70,7 +72,11 @@ fn main() {
             format!("{:.2}", run.best.point.x),
             format!("{hbo_reward:+.3}"),
             format!("{static_reward:+.3}"),
-            format!("{} ({:+.3})", if win { "HBO" } else { "static" }, hbo_reward - static_reward),
+            format!(
+                "{} ({:+.3})",
+                if win { "HBO" } else { "static" },
+                hbo_reward - static_reward
+            ),
         ]);
     }
     println!("{}", table.render());

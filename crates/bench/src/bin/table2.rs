@@ -11,7 +11,11 @@ fn main() {
         vec!["object".into(), "count".into(), "triangles".into()],
     );
     for e in arscene::scenarios::sc1_catalog() {
-        t.row(vec![e.name.to_owned(), e.count.to_string(), e.triangles.to_string()]);
+        t.row(vec![
+            e.name.to_owned(),
+            e.count.to_string(),
+            e.triangles.to_string(),
+        ]);
     }
     println!("{}", t.render());
 
@@ -20,7 +24,11 @@ fn main() {
         vec!["object".into(), "count".into(), "triangles".into()],
     );
     for e in arscene::scenarios::sc2_catalog() {
-        t.row(vec![e.name.to_owned(), e.count.to_string(), e.triangles.to_string()]);
+        t.row(vec![
+            e.name.to_owned(),
+            e.count.to_string(),
+            e.triangles.to_string(),
+        ]);
     }
     println!("{}", t.render());
 
@@ -31,8 +39,15 @@ fn main() {
         );
         let zoo = nnmodel::ModelZoo::pixel7();
         for spec in tasks {
-            let kind = zoo.get(&spec.model).map(|m| m.kind().abbrev()).unwrap_or("?");
-            t.row(vec![spec.model.clone(), spec.count.to_string(), kind.to_owned()]);
+            let kind = zoo
+                .get(&spec.model)
+                .map(|m| m.kind().abbrev())
+                .unwrap_or("?");
+            t.row(vec![
+                spec.model.clone(),
+                spec.count.to_string(),
+                kind.to_owned(),
+            ]);
         }
         println!("{}", t.render());
     }

@@ -1,0 +1,139 @@
+//! Criterion-free walltime benchmarking.
+//!
+//! The workspace builds hermetically (no registry crates), so `cargo
+//! bench` targets use this small harness instead of `criterion`: warm up,
+//! take N timed samples, report the median as one JSON line on stdout.
+//! JSON-lines output keeps results machine-diffable across runs without
+//! pulling in a serialization crate.
+//!
+//! ```text
+//! {"group":"bayesopt","bench":"gp_fit_20x4","median_ns":183042,"samples":15,"warmup_iters":3}
+//! ```
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```no_run
+//! use hbo_bench::harness::Harness;
+//!
+//! let mut h = Harness::from_args("kernels");
+//! h.bench("sum_1k", || (0..1000u64).sum::<u64>());
+//! ```
+
+use std::time::Instant;
+
+/// Number of timed samples per benchmark (median reported).
+const DEFAULT_SAMPLES: u32 = 15;
+/// Warmup iterations before sampling.
+const DEFAULT_WARMUP: u32 = 3;
+
+/// A benchmark group: runs closures, reports median walltime as JSON.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    filter: Option<String>,
+    samples: u32,
+    warmup: u32,
+}
+
+impl Harness {
+    /// A harness for `group` with default sample counts.
+    pub fn new(group: &str) -> Self {
+        Harness {
+            group: group.to_owned(),
+            filter: None,
+            samples: DEFAULT_SAMPLES,
+            warmup: DEFAULT_WARMUP,
+        }
+    }
+
+    /// Like [`Harness::new`], but honors a substring filter passed on the
+    /// command line (`cargo bench --bench kernels -- gp_fit`). The
+    /// `--bench` flag cargo forwards to the binary is ignored.
+    pub fn from_args(group: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        let mut h = Harness::new(group);
+        h.filter = filter;
+        h
+    }
+
+    /// Overrides the number of timed samples (median of N).
+    pub fn samples(mut self, samples: u32) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// True if `name` passes the command-line filter.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmarks `routine`, timing each call.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut routine: F) {
+        self.bench_batched(name, || (), |()| routine());
+    }
+
+    /// Benchmarks `routine` on a fresh `setup()` value per sample, timing
+    /// only the routine (the criterion `iter_batched` pattern).
+    pub fn bench_batched<I, T, S, F>(&mut self, name: &str, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        if !self.selected(name) {
+            return;
+        }
+        for _ in 0..self.warmup {
+            std::hint::black_box(routine(setup()));
+        }
+        let mut sample_ns: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                start.elapsed().as_nanos()
+            })
+            .collect();
+        sample_ns.sort_unstable();
+        let median_ns = sample_ns[sample_ns.len() / 2];
+        println!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"warmup_iters\":{}}}",
+            self.group, name, median_ns, self.samples, self.warmup
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_respects_filter() {
+        let mut h = Harness::new("test");
+        h.filter = Some("yes".to_owned());
+        let mut ran = 0;
+        h.bench("yes_this_one", || ran += 1);
+        let ran_selected = ran;
+        let mut skipped = 0;
+        h.bench("not_matching", || skipped += 1);
+        assert!(ran_selected >= 1, "selected bench must execute");
+        assert_eq!(skipped, 0, "filtered-out bench must not execute");
+    }
+
+    #[test]
+    fn batched_setup_runs_once_per_sample() {
+        let mut h = Harness::new("test").samples(5);
+        let mut setups = 0;
+        let mut runs = 0;
+        h.bench_batched(
+            "batched",
+            || {
+                setups += 1;
+            },
+            |()| {
+                runs += 1;
+            },
+        );
+        assert_eq!(setups, 5 + DEFAULT_WARMUP);
+        assert_eq!(runs, setups);
+    }
+}

@@ -98,7 +98,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -112,10 +119,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("### {}\n\n", self.title));
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -162,9 +166,12 @@ impl Series {
         if self.points.is_empty() {
             return String::new();
         }
-        let (min, max) = self.points.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
-            (lo.min(y), hi.max(y))
-        });
+        let (min, max) = self
+            .points
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            });
         let span = (max - min).max(1e-12);
         self.points
             .iter()

@@ -9,10 +9,8 @@
 //! e.g. a heavy object landed on screen) empirically — a new activation
 //! runs, and the new best reward becomes the reference.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one monitoring sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ActivationDecision {
     /// Run Algorithm 1 over a fixed number of iterations.
     Activate(ActivationReason),
@@ -21,7 +19,7 @@ pub enum ActivationDecision {
 }
 
 /// Why an activation fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActivationReason {
     /// No reference yet: first object placement (the policy "initially
     /// runs HBO after the first object placement").
@@ -50,7 +48,7 @@ pub enum ActivationReason {
 /// assert_eq!(policy.check(0.65), ActivationDecision::Hold);
 /// assert!(matches!(policy.check(0.65), ActivationDecision::Activate(_)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActivationPolicy {
     reference: Option<f64>,
     /// Fractional reward increase that triggers (paper: 0.05).
@@ -160,7 +158,7 @@ impl ActivationPolicy {
 
 /// The strawman periodic policy of Fig. 8b: activates every `period`-th
 /// sample regardless of need.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeriodicPolicy {
     period: usize,
     counter: usize,

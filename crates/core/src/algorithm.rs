@@ -3,15 +3,14 @@
 use bayesopt::space::{SampleSpace, SimplexBoxSpace};
 use bayesopt::{BoConfig, BoOptimizer};
 use nnmodel::Delegate;
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
+use simcore::rand::RngCore;
 
 use crate::alloc::allocate_tasks;
 use crate::cost;
 use crate::profile::TaskProfile;
 
 /// What the BO cost function incorporates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CostMode {
     /// The full objective `φ = −(Q − w ε)` — Eq. (5).
     QualityAndLatency,
@@ -61,7 +60,7 @@ impl Default for HboConfig {
 /// One configuration produced by the controller: the BO point `z`, its
 /// `(c, x)` split, and the concrete per-task allocation derived by the
 /// heuristic of lines 2–22.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HboPoint {
     /// The raw BO input vector `z = [c₁, …, c_N, x]`.
     pub z: Vec<f64>,
@@ -75,7 +74,7 @@ pub struct HboPoint {
 
 /// One completed iteration: the configuration tested and the measured
 /// outcome (lines 24–26 of Algorithm 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationRecord {
     /// The configuration that was applied.
     pub point: HboPoint,
@@ -201,7 +200,12 @@ impl HboController {
             self.bo.space().contains(&z, 1e-6),
             "incumbent outside the configured space: {z:?}"
         );
-        HboPoint { z, c, x, allocation }
+        HboPoint {
+            z,
+            c,
+            x,
+            allocation,
+        }
     }
 
     /// Builds the full configuration for a raw BO vector (used both by
@@ -212,7 +216,12 @@ impl HboController {
             (c.to_vec(), x)
         };
         let allocation = allocate_tasks(&c, &self.profiles);
-        HboPoint { z, c, x, allocation }
+        HboPoint {
+            z,
+            c,
+            x,
+            allocation,
+        }
     }
 
     /// Lines 24–26: converts the measured `(Q, ε)` into the cost `φ` and
@@ -242,9 +251,7 @@ impl HboController {
     /// The lowest-cost iteration so far (the configuration HBO keeps after
     /// the activation ends).
     pub fn best(&self) -> Option<&IterationRecord> {
-        self.records
-            .iter()
-            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        self.records.iter().min_by(|a, b| a.cost.total_cmp(&b.cost))
     }
 
     /// Every iteration of the current activation, in order — the data
@@ -276,7 +283,7 @@ impl HboController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use simcore::rand::SeedableRng;
 
     fn profiles() -> Vec<TaskProfile> {
         vec![
@@ -302,7 +309,7 @@ mod tests {
 
     fn run_activation(seed: u64) -> HboController {
         let mut hbo = HboController::new(profiles(), HboConfig::default());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
         while !hbo.is_done() {
             let p = hbo.next_point(&mut rng);
             let (q, e) = environment(&p);
@@ -332,7 +339,7 @@ mod tests {
     #[test]
     fn points_satisfy_constraints() {
         let mut hbo = HboController::new(profiles(), HboConfig::default());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(5);
         for _ in 0..10 {
             let p = hbo.next_point(&mut rng);
             let c_sum: f64 = p.c.iter().sum();
@@ -352,7 +359,7 @@ mod tests {
             ..HboConfig::default()
         };
         let mut hbo = HboController::new(profiles(), config);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(6);
         for _ in 0..8 {
             let p = hbo.next_point(&mut rng);
             assert_eq!(p.x, 1.0);
@@ -374,7 +381,11 @@ mod tests {
         let best = hbo.best().unwrap();
         let mean_cost: f64 =
             hbo.records().iter().map(|r| r.cost).sum::<f64>() / hbo.records().len() as f64;
-        assert!(best.cost < mean_cost, "best {} vs mean {mean_cost}", best.cost);
+        assert!(
+            best.cost < mean_cost,
+            "best {} vs mean {mean_cost}",
+            best.cost
+        );
     }
 
     #[test]

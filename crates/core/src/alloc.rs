@@ -143,7 +143,8 @@ pub fn allocate_tasks(c: &[f64], profiles: &[TaskProfile]) -> Vec<Delegate> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simcore::check::{self, f64s, u64s, usizes, vec as cvec};
+    use simcore::{prop_assert, prop_assert_eq};
 
     fn profile(name: &str, cpu: f64, gpu: f64, nnapi: f64) -> TaskProfile {
         TaskProfile::new(name, [Some(cpu), Some(gpu), Some(nnapi)])
@@ -239,67 +240,96 @@ mod tests {
         allocate_tasks(&[1.0], &[profile("a", 1.0, 1.0, 1.0)]);
     }
 
-    proptest! {
-        #[test]
-        fn every_task_placed_exactly_once(
-            c0 in 0.0f64..1.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0,
-            lat in prop::collection::vec((1.0f64..100.0, 1.0f64..100.0, 1.0f64..100.0), 1..8),
-        ) {
-            let sum = (c0 + c1 + c2).max(1e-9);
-            let c = [c0 / sum, c1 / sum, c2 / sum];
-            let profiles: Vec<TaskProfile> = lat
-                .iter()
-                .enumerate()
-                .map(|(i, &(a, b, n))| profile(&format!("t{i}"), a, b, n))
-                .collect();
-            let alloc = allocate_tasks(&c, &profiles);
-            prop_assert_eq!(alloc.len(), profiles.len());
-            // Quota respected: no resource exceeds its rounded count
-            // (fallback can only fire when quota is unusable, and with
-            // fully-supported tasks it never fires).
-            let counts = round_proportions(&c, profiles.len());
-            for d in Delegate::ALL {
-                let used = alloc.iter().filter(|&&x| x == d).count();
-                prop_assert!(used <= counts[d.index()], "{:?} used {} > quota {}", d, used, counts[d.index()]);
-            }
-        }
+    #[test]
+    fn every_task_placed_exactly_once() {
+        check::check(
+            "every_task_placed_exactly_once",
+            (
+                f64s(0.0..1.0),
+                f64s(0.0..1.0),
+                f64s(0.0..1.0),
+                cvec((f64s(1.0..100.0), f64s(1.0..100.0), f64s(1.0..100.0)), 1..8),
+            ),
+            |(c0, c1, c2, lat)| {
+                let sum = (c0 + c1 + c2).max(1e-9);
+                let c = [c0 / sum, c1 / sum, c2 / sum];
+                let profiles: Vec<TaskProfile> = lat
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(a, b, n))| profile(&format!("t{i}"), a, b, n))
+                    .collect();
+                let alloc = allocate_tasks(&c, &profiles);
+                prop_assert_eq!(alloc.len(), profiles.len());
+                // Quota respected: no resource exceeds its rounded count
+                // (fallback can only fire when quota is unusable, and with
+                // fully-supported tasks it never fires).
+                let counts = round_proportions(&c, profiles.len());
+                for d in Delegate::ALL {
+                    let used = alloc.iter().filter(|&&x| x == d).count();
+                    prop_assert!(
+                        used <= counts[d.index()],
+                        "{:?} used {} > quota {}",
+                        d,
+                        used,
+                        counts[d.index()]
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn na_patterns_never_violate_compatibility(
-            c0 in 0.0f64..1.0, c1 in 0.0f64..1.0, c2 in 0.0f64..1.0,
-            masks in prop::collection::vec(1u8..8, 1..8),
-        ) {
-            // Random support masks (bit i = resource i supported, never 0).
-            let sum = (c0 + c1 + c2).max(1e-9);
-            let c = [c0 / sum, c1 / sum, c2 / sum];
-            let profiles: Vec<TaskProfile> = masks
-                .iter()
-                .enumerate()
-                .map(|(i, &mask)| {
-                    let lat = |bit: u8, l: f64| (mask & bit != 0).then_some(l);
-                    TaskProfile::new(
-                        format!("t{i}"),
-                        [
-                            lat(1, 10.0 + i as f64),
-                            lat(2, 20.0 - i as f64),
-                            lat(4, 15.0),
-                        ],
-                    )
-                })
-                .collect();
-            let alloc = allocate_tasks(&c, &profiles);
-            prop_assert_eq!(alloc.len(), profiles.len());
-            for (p, d) in profiles.iter().zip(&alloc) {
-                prop_assert!(p.supports(*d), "{} assigned to unsupported {}", p.name(), d);
-            }
-        }
+    #[test]
+    fn na_patterns_never_violate_compatibility() {
+        check::check(
+            "na_patterns_never_violate_compatibility",
+            (
+                f64s(0.0..1.0),
+                f64s(0.0..1.0),
+                f64s(0.0..1.0),
+                cvec(u64s(1..8), 1..8),
+            ),
+            |(c0, c1, c2, masks)| {
+                // Random support masks (bit i = resource i supported, never 0).
+                let sum = (c0 + c1 + c2).max(1e-9);
+                let c = [c0 / sum, c1 / sum, c2 / sum];
+                let profiles: Vec<TaskProfile> = masks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &mask)| {
+                        let lat = |bit: u64, l: f64| (mask & bit != 0).then_some(l);
+                        TaskProfile::new(
+                            format!("t{i}"),
+                            [
+                                lat(1, 10.0 + i as f64),
+                                lat(2, 20.0 - i as f64),
+                                lat(4, 15.0),
+                            ],
+                        )
+                    })
+                    .collect();
+                let alloc = allocate_tasks(&c, &profiles);
+                prop_assert_eq!(alloc.len(), profiles.len());
+                for (p, d) in profiles.iter().zip(&alloc) {
+                    prop_assert!(p.supports(*d), "{} assigned to unsupported {}", p.name(), d);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn rounding_never_loses_tasks(c in prop::collection::vec(0.0f64..1.0, 1..6), m in 1usize..20) {
-            let sum: f64 = c.iter().sum::<f64>().max(1e-9);
-            let c: Vec<f64> = c.iter().map(|v| v / sum).collect();
-            let counts = round_proportions(&c, m);
-            prop_assert_eq!(counts.iter().sum::<usize>(), m);
-        }
+    #[test]
+    fn rounding_never_loses_tasks() {
+        check::check(
+            "rounding_never_loses_tasks",
+            (cvec(f64s(0.0..1.0), 1..6), usizes(1..20)),
+            |(c, m)| {
+                let sum: f64 = c.iter().sum::<f64>().max(1e-9);
+                let c: Vec<f64> = c.iter().map(|v| v / sum).collect();
+                let counts = round_proportions(&c, *m);
+                prop_assert_eq!(counts.iter().sum::<usize>(), *m);
+                Ok(())
+            },
+        );
     }
 }

@@ -1,12 +1,11 @@
 //! The comparison baselines of Section V-A.
 
 use nnmodel::Delegate;
-use serde::{Deserialize, Serialize};
 
 use crate::profile::TaskProfile;
 
 /// The systems compared in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Baseline {
     /// The paper's framework (Algorithm 1).
     Hbo,

@@ -19,7 +19,7 @@
 //! ```
 //! use hbo_core::{HboConfig, HboController, TaskProfile};
 //! use nnmodel::Delegate;
-//! use rand::SeedableRng;
+//! use simcore::rand::SeedableRng;
 //!
 //! // Two tasks with static per-resource latencies (CPU, GPU, NNAPI).
 //! let profiles = vec![
@@ -27,7 +27,7 @@
 //!     TaskProfile::new("b", [Some(20.0), Some(15.0), Some(25.0)]),
 //! ];
 //! let mut hbo = HboController::new(profiles, HboConfig::default());
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = simcore::rand::StdRng::seed_from_u64(1);
 //! for _ in 0..10 {
 //!     let point = hbo.next_point(&mut rng);
 //!     // ... apply `point.allocation` and `point.x`, measure (Q, eps) ...

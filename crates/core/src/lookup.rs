@@ -6,11 +6,10 @@
 use std::collections::HashMap;
 
 use nnmodel::Delegate;
-use serde::{Deserialize, Serialize};
 
 /// Quantized environmental conditions, as the paper proposes: "maximum
 /// triangle count, average distances, and task configurations".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LookupKey {
     /// Fingerprint of the taskset (names + counts).
     pub taskset: u64,
@@ -56,7 +55,7 @@ impl LookupKey {
 }
 
 /// A stored solution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredConfig {
     /// Resource-usage proportions `c`.
     pub c: Vec<f64>,
@@ -79,7 +78,7 @@ pub struct StoredConfig {
 /// let key = LookupKey::quantize(42, 1_000_000, 1.2);
 /// assert!(table.find(&key).is_none());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LookupTable {
     entries: HashMap<LookupKey, StoredConfig>,
 }

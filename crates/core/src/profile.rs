@@ -2,12 +2,11 @@
 //! Algorithm 1, and the `τ^e` reference of Eq. 4).
 
 use nnmodel::{Delegate, Model};
-use serde::{Deserialize, Serialize};
 
 /// One AI task's isolated latency on each resource, profiled one time with
 /// no other AI tasks and no virtual objects (Section IV-C: "a one-time
 /// operation, thus incurring little inconvenience to the user").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskProfile {
     name: String,
     /// Isolated latency (ms) indexed by [`Delegate::index`];

@@ -22,14 +22,14 @@
 //!
 //! ```
 //! use hbo_core::{HboConfig, HboSession, SessionConfig, SessionStep, TaskProfile};
-//! use rand::SeedableRng;
+//! use simcore::rand::SeedableRng;
 //!
 //! let profiles = vec![
 //!     TaskProfile::new("a", [Some(40.0), Some(30.0), Some(10.0)]),
 //!     TaskProfile::new("b", [Some(20.0), Some(15.0), Some(25.0)]),
 //! ];
 //! let mut session = HboSession::new(profiles, SessionConfig::default());
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = simcore::rand::StdRng::seed_from_u64(7);
 //!
 //! // A fake environment: quality follows x, latency follows the CPU share.
 //! let measure = |p: &hbo_core::HboPoint| (p.x, 0.2 * p.c[0]);
@@ -54,7 +54,7 @@
 //! ```
 
 use nnmodel::Delegate;
-use rand::RngCore;
+use simcore::rand::RngCore;
 
 use crate::activation::{ActivationDecision, ActivationPolicy};
 use crate::algorithm::{HboConfig, HboController, HboPoint};
@@ -289,7 +289,7 @@ impl HboSession {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use simcore::rand::SeedableRng;
 
     fn profiles() -> Vec<TaskProfile> {
         vec![
@@ -319,7 +319,7 @@ mod tests {
     }
 
     fn drive_activation(session: &mut HboSession, first: SessionStep) -> HboPoint {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(1);
         let mut step = first;
         loop {
             match step {
@@ -336,7 +336,7 @@ mod tests {
     #[test]
     fn full_protocol_round_trip() {
         let mut session = HboSession::new(profiles(), quick());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(2);
         // First sample activates.
         let step = session.on_monitor(0.4, None, &mut rng);
         assert!(matches!(step, SessionStep::Evaluate(_)));
@@ -354,7 +354,7 @@ mod tests {
     #[test]
     fn evaluation_count_matches_budget() {
         let mut session = HboSession::new(profiles(), quick());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(3);
         let mut evaluations = 0;
         let mut step = session.on_monitor(0.0, None, &mut rng);
         while let SessionStep::Evaluate(point) = step {
@@ -369,9 +369,11 @@ mod tests {
     #[test]
     fn incumbent_seeding_counts_as_an_iteration() {
         let mut session = HboSession::new(profiles(), quick());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(4);
         let step = session.on_monitor(0.0, None, &mut rng);
-        let SessionStep::Evaluate(first) = step else { panic!() };
+        let SessionStep::Evaluate(first) = step else {
+            panic!()
+        };
         session.seed_incumbent(vec![Delegate::Gpu, Delegate::Nnapi], 1.0, 1.0, 0.35);
         let mut evaluations = 1;
         let mut step = {
@@ -392,7 +394,7 @@ mod tests {
         let mut config = quick();
         config.lookup = true;
         let mut session = HboSession::new(profiles(), config);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(5);
         let key = LookupKey::quantize(7, 500_000, 1.2);
 
         // First activation under these conditions: full exploration.
@@ -422,7 +424,7 @@ mod tests {
         let mut config = quick();
         config.lookup = true;
         let mut session = HboSession::new(profiles(), config);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(6);
         let key_a = LookupKey::quantize(7, 500_000, 1.0);
         let key_b = LookupKey::quantize(7, 4_000_000, 3.0);
 
@@ -432,14 +434,17 @@ mod tests {
         session.on_reference(q - 2.5 * e);
 
         let step = session.on_monitor(-10.0, Some(key_b), &mut rng);
-        assert!(matches!(step, SessionStep::Evaluate(_)), "new conditions explore");
+        assert!(
+            matches!(step, SessionStep::Evaluate(_)),
+            "new conditions explore"
+        );
     }
 
     #[test]
     #[should_panic(expected = "unexpected on_measured")]
     fn out_of_order_calls_panic() {
         let mut session = HboSession::new(profiles(), quick());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(7);
         let point = HboPoint {
             z: vec![1.0, 0.0, 0.0, 1.0],
             c: vec![1.0, 0.0, 0.0],

@@ -101,14 +101,16 @@ pub fn render_mesh(vertices: &[[f64; 3]], triangles: &[[usize; 3]], opts: &Rende
         let (Some(p0), Some(p1), Some(p2)) = (project(v0), project(v1), project(v2)) else {
             continue;
         };
-        let shade = (opts.ambient + (1.0 - opts.ambient) * dot(normal, light).max(0.0))
-            .clamp(0.0, 1.0);
+        let shade =
+            (opts.ambient + (1.0 - opts.ambient) * dot(normal, light).max(0.0)).clamp(0.0, 1.0);
 
         // Bounding box clipped to the viewport.
         let min_x = p0[0].min(p1[0]).min(p2[0]).floor().max(0.0) as usize;
-        let max_x = (p0[0].max(p1[0]).max(p2[0]).ceil() as isize).clamp(0, res as isize - 1) as usize;
+        let max_x =
+            (p0[0].max(p1[0]).max(p2[0]).ceil() as isize).clamp(0, res as isize - 1) as usize;
         let min_y = p0[1].min(p1[1]).min(p2[1]).floor().max(0.0) as usize;
-        let max_y = (p0[1].max(p1[1]).max(p2[1]).ceil() as isize).clamp(0, res as isize - 1) as usize;
+        let max_y =
+            (p0[1].max(p1[1]).max(p2[1]).ceil() as isize).clamp(0, res as isize - 1) as usize;
         if min_x > max_x || min_y > max_y {
             continue;
         }

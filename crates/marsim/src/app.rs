@@ -5,7 +5,9 @@ use arscene::Scene;
 use hbo_core::HboPoint;
 use nnmodel::{Delegate, ModelZoo};
 use simcore::{SimDuration, SimTime};
-use soc::{DeviceProfile, SocProcs, SocSim, SourceId, SourceSpec, Stage, StageSeq, StreamId, StreamSpec};
+use soc::{
+    DeviceProfile, SocProcs, SocSim, SourceId, SourceSpec, Stage, StageSeq, StreamId, StreamSpec,
+};
 
 use crate::load::{inflate_stages, inflated_plan, render_utilization};
 use crate::scenario::ScenarioSpec;
@@ -376,7 +378,9 @@ impl MarApp {
     pub fn fps_over_last_secs(&self, secs: f64) -> f64 {
         let now = self.sim.now();
         let since = SimTime::from_secs_f64((now.as_secs_f64() - secs).max(0.0));
-        self.sim.source_metrics(self.render_source).rate_since(since, now)
+        self.sim
+            .source_metrics(self.render_source)
+            .rate_since(since, now)
     }
 
     /// Pushes the scene's current render load into the render source and
@@ -414,7 +418,7 @@ fn render_stages(device: &DeviceProfile, procs: SocProcs, scene: &Scene) -> Stag
 mod tests {
     use super::*;
     use crate::load::{inflate_stages, inflated_plan, render_utilization};
-use crate::scenario::ScenarioSpec;
+    use crate::scenario::ScenarioSpec;
 
     #[test]
     fn tasks_start_on_their_best_delegates() {
@@ -437,8 +441,8 @@ use crate::scenario::ScenarioSpec;
         app.run_for_secs(1.0); // warm-up
         let m = app.measure_for_secs(2.0);
         assert_eq!(m.quality, 1.0); // empty scene
-        // Three tasks on three different-ish resources with no render
-        // load: epsilon should be small.
+                                    // Three tasks on three different-ish resources with no render
+                                    // load: epsilon should be small.
         assert!(m.epsilon < 0.6, "epsilon = {}", m.epsilon);
     }
 
@@ -500,7 +504,12 @@ use crate::scenario::ScenarioSpec;
         app.set_user_distance(5.0);
         app.run_for_secs(0.5);
         let far = app.measure_for_secs(2.0);
-        assert!(far.epsilon < near.epsilon, "{} -> {}", near.epsilon, far.epsilon);
+        assert!(
+            far.epsilon < near.epsilon,
+            "{} -> {}",
+            near.epsilon,
+            far.epsilon
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use hbo_core::{
     IterationRecord,
 };
 use nnmodel::Delegate;
-use rand::SeedableRng;
+use simcore::rand::SeedableRng;
 
 use crate::app::{MarApp, Measurement};
 use crate::scenario::ScenarioSpec;
@@ -67,7 +67,7 @@ pub fn run_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRunResu
     app.place_all_objects();
     app.run_for_secs(WARMUP_SECS);
     let mut hbo = HboController::new(spec.profiles(), config.clone());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
     // Seed the dataset with the configuration already running (the static
     // best-isolated allocation at the app's current ratio): the chosen
     // "best" can then never regress below the incumbent.
@@ -81,7 +81,10 @@ pub fn run_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRunResu
         let m = app.measure_for_secs(CONTROL_PERIOD_SECS);
         hbo.observe(point, m.quality, m.epsilon);
     }
-    let best = hbo.best().expect("activation ran at least one iteration").clone();
+    let best = hbo
+        .best()
+        .expect("activation ran at least one iteration")
+        .clone();
     HboRunResult {
         scenario: spec.name.clone(),
         best_cost_trace: hbo.best_cost_trace(),
@@ -136,18 +139,19 @@ fn evaluate_fixed(
 /// Evaluates HBO plus the four baselines of Section V-A on one scenario,
 /// reusing a single HBO activation result (SMQ matches its quality, SML
 /// matches its latency).
-pub fn compare_baselines(
-    spec: &ScenarioSpec,
-    config: &HboConfig,
-    seed: u64,
-) -> ExperimentResult {
+pub fn compare_baselines(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> ExperimentResult {
     let hbo_run = run_hbo(spec, config, seed);
     let profiles = spec.profiles();
     let static_alloc = static_best_allocation(&profiles);
     let mut outcomes = Vec::new();
 
     // HBO: re-apply the chosen configuration and measure it fresh.
-    let hbo_measure = evaluate_fixed(spec, &hbo_run.best.point.allocation, hbo_run.best.point.x, false);
+    let hbo_measure = evaluate_fixed(
+        spec,
+        &hbo_run.best.point.allocation,
+        hbo_run.best.point.x,
+        false,
+    );
     outcomes.push(BaselineOutcome {
         baseline: Baseline::Hbo,
         allocation: hbo_run.best.point.allocation.clone(),
@@ -279,7 +283,11 @@ mod tests {
         assert!(run.iterations_to_converge() <= 8);
         assert_eq!(run.consecutive_distances().len(), 7);
         // Best record really is the minimum.
-        let min = run.records.iter().map(|r| r.cost).fold(f64::INFINITY, f64::min);
+        let min = run
+            .records
+            .iter()
+            .map(|r| r.cost)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(run.best.cost, min);
     }
 
@@ -288,12 +296,7 @@ mod tests {
         let spec = ScenarioSpec::sc1_cf1();
         let config = quick_config();
         let run = run_hbo(&spec, &config, 3);
-        let alln = evaluate_fixed(
-            &spec,
-            &all_nnapi_allocation(&spec.profiles()),
-            1.0,
-            false,
-        );
+        let alln = evaluate_fixed(&spec, &all_nnapi_allocation(&spec.profiles()), 1.0, false);
         let hbo_reward = hbo_core::reward(run.best.quality, run.best.epsilon, config.w);
         let alln_reward = alln.reward(config.w);
         assert!(

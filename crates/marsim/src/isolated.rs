@@ -14,11 +14,7 @@ const PROFILE_SECS: f64 = 3.0;
 
 /// Measures the isolated latency of one model on one delegate, in
 /// milliseconds. Returns `None` for incompatible (NA) pairs.
-pub fn isolated_latency(
-    device: &DeviceProfile,
-    model: &Model,
-    delegate: Delegate,
-) -> Option<f64> {
+pub fn isolated_latency(device: &DeviceProfile, model: &Model, delegate: Delegate) -> Option<f64> {
     let (topo, procs) = device.topology();
     let plan = model.plan(delegate, device, procs)?;
     let mut sim = SocSim::new(topo);

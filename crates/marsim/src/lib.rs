@@ -33,9 +33,9 @@
 #![warn(missing_docs)]
 
 mod app;
-pub mod load;
 pub mod experiment;
 pub mod isolated;
+pub mod load;
 mod scenario;
 pub mod synth;
 pub mod timeline;

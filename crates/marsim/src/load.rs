@@ -116,8 +116,7 @@ mod tests {
         let m = zoo.get("inception-v1-q").unwrap(); // NPU-heavy NNAPI plan
         let base = m.plan(Delegate::Nnapi, &device, procs).unwrap();
         let hot = inflated_plan(m, Delegate::Nnapi, &device, procs, 1.0).unwrap();
-        let ratio =
-            hot.nominal_total().as_millis_f64() / base.nominal_total().as_millis_f64();
+        let ratio = hot.nominal_total().as_millis_f64() / base.nominal_total().as_millis_f64();
         // Mostly-NPU model: close to 1 + BETA_NPU (minus copies).
         assert!(ratio > 2.0, "ratio = {ratio}");
 

@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn all_four_are_distinct() {
-        let names: Vec<String> = ScenarioSpec::all_four().into_iter().map(|s| s.name).collect();
+        let names: Vec<String> = ScenarioSpec::all_four()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert_eq!(names, vec!["SC1-CF1", "SC2-CF1", "SC1-CF2", "SC2-CF2"]);
     }
 }

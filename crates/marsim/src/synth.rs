@@ -4,8 +4,8 @@
 
 use arscene::scenarios::CatalogEntry;
 use arscene::QualityParams;
-use rand::Rng;
-use rand::SeedableRng;
+use simcore::rand::Rng;
+use simcore::rand::SeedableRng;
 
 use crate::scenario::{ScenarioSpec, TaskSpec};
 
@@ -92,10 +92,13 @@ impl Default for SynthConfig {
 ///
 /// Panics if the config's ranges are inverted or the model pool is empty.
 pub fn random_scenario(seed: u64, config: &SynthConfig) -> ScenarioSpec {
-    assert!(config.objects.0 <= config.objects.1, "inverted object range");
+    assert!(
+        config.objects.0 <= config.objects.1,
+        "inverted object range"
+    );
     assert!(config.tasks.0 <= config.tasks.1, "inverted task range");
     assert!(!config.model_pool.is_empty(), "empty model pool");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
     let mut spec = ScenarioSpec::sc1_cf1();
     spec.name = format!("RAND-{seed}");
 

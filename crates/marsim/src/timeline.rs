@@ -7,13 +7,13 @@ use hbo_core::{
     PeriodicPolicy,
 };
 use nnmodel::{Delegate, ModelZoo};
-use rand::SeedableRng;
+use simcore::rand::SeedableRng;
 use simcore::{SimDuration, SimTime};
 use soc::{DeviceProfile, SocSim, SourceSpec, Stage, StageSeq, StreamId, StreamSpec};
 
 use crate::app::MarApp;
-use crate::load::{inflated_plan, render_utilization};
 use crate::experiment::CONTROL_PERIOD_SECS;
+use crate::load::{inflated_plan, render_utilization};
 use crate::scenario::ScenarioSpec;
 
 /// An event in a Fig. 2-style script.
@@ -144,12 +144,10 @@ pub fn run_script(
                     let name = format!("{model}_{n}");
                     let stream = sim.add_stream(
                         StreamSpec::new(plan, SimDuration::from_millis_f64(2.0))
-                            .with_period(SimDuration::from_millis_f64(
-                                crate::app::task_period_ms(tasks.len()),
-                            ))
-                            .with_jitter(SimDuration::from_millis_f64(
-                                crate::app::TASK_JITTER_MS,
-                            ))
+                            .with_period(SimDuration::from_millis_f64(crate::app::task_period_ms(
+                                tasks.len(),
+                            )))
+                            .with_jitter(SimDuration::from_millis_f64(crate::app::TASK_JITTER_MS))
                             .with_label(name.clone()),
                     );
                     tasks.push(Running {
@@ -297,7 +295,7 @@ pub fn run_activation_study(
         )),
         PolicyKind::EventBased | PolicyKind::LookupAssisted => None,
     };
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
 
     let mut samples = Vec::new();
     let mut activations = Vec::new();
@@ -610,5 +608,4 @@ mod tests {
             event.activations.len()
         );
     }
-
 }

@@ -7,8 +7,8 @@
 //! over from eAR) is that Eq. (1)-quality tracks perception, and Fig. 9
 //! confirms it — here we encode that mapping explicitly.
 
-use rand::Rng;
-use rand::SeedableRng;
+use simcore::rand::Rng;
+use simcore::rand::SeedableRng;
 
 /// Anchor points `(model quality, mean opinion score)` of the
 /// psychometric curve, calibrated against the paper's own user study
@@ -89,7 +89,7 @@ impl RaterPanel {
     /// Panics if `n == 0`.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n > 0, "need at least one rater");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
         let raters = (0..n)
             .map(|_| Rater {
                 bias: rng.gen_range(-0.3..0.3),
@@ -114,8 +114,8 @@ impl RaterPanel {
     pub fn score_condition(&self, q: f64, condition: &str) -> Vec<f64> {
         let mut scores = Vec::with_capacity(self.raters.len());
         for (i, rater) in self.raters.iter().enumerate() {
-            let stream = simcore::rng::RngFactory::new(self.seed)
-                .indexed_stream(condition, i as u64);
+            let stream =
+                simcore::rng::RngFactory::new(self.seed).indexed_stream(condition, i as u64);
             let mut rng = stream;
             scores.push(rater.score(q, &mut rng));
         }
@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn panel_scores_are_deterministic() {
         let p = RaterPanel::of_seven(42);
-        assert_eq!(p.score_condition(0.9, "close"), p.score_condition(0.9, "close"));
+        assert_eq!(
+            p.score_condition(0.9, "close"),
+            p.score_condition(0.9, "close")
+        );
         assert_eq!(p.len(), 7);
     }
 

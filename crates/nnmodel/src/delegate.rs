@@ -1,11 +1,9 @@
 //! Delegates (allocatable resources) and AI task kinds.
 
-use serde::{Deserialize, Serialize};
-
 /// An allocation choice for an AI task, matching the paper's three
 /// resources: plain CPU inference, the GPU delegate (all operators on the
 /// GPU), and the NNAPI delegate (operators split across NPU and GPU).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Delegate {
     /// Multi-threaded CPU inference.
     Cpu,
@@ -64,7 +62,7 @@ impl std::fmt::Display for Delegate {
 }
 
 /// The category of an AI task, as listed in Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// IS — semantic image segmentation.
     ImageSegmentation,

@@ -1,6 +1,5 @@
 //! Model descriptions and delegate execution plans.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use soc::{DeviceProfile, SocProcs, Stage, StageSeq};
 
@@ -13,7 +12,7 @@ use crate::delegate::{Delegate, TaskKind};
 /// not supported on NPU or TPU may run on GPU, further increasing GPU's
 /// demand."* The fraction is what couples NNAPI-allocated tasks to the
 /// render load.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NnapiStructure {
     /// Fraction of NNAPI compute served by the NPU (`1.0` = fully
     /// supported model, `0.0` = full GPU fallback).
@@ -44,7 +43,7 @@ impl NnapiStructure {
 /// A calibrated AI model: measured isolated latencies per delegate plus
 /// NNAPI partition structure. Construct via [`Model::new`] or take one from
 /// [`crate::ModelZoo`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Model {
     name: String,
     kind: TaskKind,

@@ -19,7 +19,6 @@
 //! per-op choice wins (isolation) and where it collapses (under render
 //! load, which it cannot see).
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 use soc::{DeviceProfile, SocProcs, Stage, StageSeq};
 
@@ -27,7 +26,7 @@ use crate::delegate::Delegate;
 use crate::model::Model;
 
 /// The kind of a neural-network operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// 2-D convolution (the bulk of vision-model compute).
     Conv2d,
@@ -60,7 +59,7 @@ impl OpKind {
 }
 
 /// One operator of a model graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Operator {
     /// Stable name, e.g. `conv_3`.
     pub name: String,
@@ -75,7 +74,7 @@ pub struct Operator {
 
 /// A linear operator chain (mobile vision models are predominantly
 /// sequential; branches are folded into their join order).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpGraph {
     ops: Vec<Operator>,
 }
@@ -93,9 +92,7 @@ impl OpGraph {
         let frac = model.nnapi_structure().npu_fraction;
         // Work profile: front-loaded (early convs dominate), with a light
         // tail — a plausible mobile-CNN shape.
-        let weights: Vec<f64> = (0..n_ops)
-            .map(|i| 1.0 / (1.0 + 0.35 * i as f64))
-            .collect();
+        let weights: Vec<f64> = (0..n_ops).map(|i| 1.0 / (1.0 + 0.35 * i as f64)).collect();
         let total: f64 = weights.iter().sum();
         let kinds = OpKind::cycle();
         let mut ops: Vec<Operator> = weights
@@ -168,7 +165,7 @@ impl OpGraph {
 }
 
 /// Which engine a fine-grained scheduler put an operator on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpPlacement {
     /// CPU cluster.
     Cpu,

@@ -1,8 +1,6 @@
 //! The calibrated model zoos: Table I of the paper plus the `mnist` digit
 //! classifier used by the scenario tasksets.
 
-use serde::{Deserialize, Serialize};
-
 use crate::delegate::TaskKind;
 use crate::model::{Model, NnapiStructure};
 
@@ -20,7 +18,7 @@ use crate::model::{Model, NnapiStructure};
 /// assert_eq!(m.isolated_ms(Delegate::Nnapi), Some(27.0));
 /// assert_eq!(m.isolated_ms(Delegate::Cpu), Some(46.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelZoo {
     device: String,
     models: Vec<Model>,
@@ -38,15 +36,78 @@ impl ModelZoo {
         let s = NnapiStructure::new;
         let models = vec![
             //          name                 kind  GPU        NNAPI       CPU        nnapi structure
-            Model::new("deconv-munet", ImageSegmentation, Some(18.0), Some(33.0), Some(58.0), s(0.55, 2)),
-            Model::new("deeplabv3", ImageSegmentation, Some(45.0), Some(27.0), Some(46.0), s(0.70, 2)),
-            Model::new("efficientdet-lite", ObjectDetection, Some(72.0), None, Some(68.0), s(0.5, 1)),
-            Model::new("mobilenetDetv1", ObjectDetection, Some(38.0), Some(13.0), Some(38.0), s(0.95, 2)),
-            Model::new("efficientclass-lite0", ImageClassification, Some(28.0), Some(10.0), Some(29.0), s(0.95, 2)),
-            Model::new("inception-v1-q", ImageClassification, Some(28.0), Some(8.0), Some(36.0), s(0.97, 1)),
-            Model::new("mobilenet-v1", ImageClassification, Some(26.0), Some(9.5), Some(28.0), s(0.95, 1)),
-            Model::new("model-metadata", GestureDetection, Some(12.7), Some(18.0), Some(14.0), s(0.25, 2)),
-            Model::new("mnist", DigitClassification, Some(5.5), Some(6.5), Some(6.0), s(0.60, 1)),
+            Model::new(
+                "deconv-munet",
+                ImageSegmentation,
+                Some(18.0),
+                Some(33.0),
+                Some(58.0),
+                s(0.55, 2),
+            ),
+            Model::new(
+                "deeplabv3",
+                ImageSegmentation,
+                Some(45.0),
+                Some(27.0),
+                Some(46.0),
+                s(0.70, 2),
+            ),
+            Model::new(
+                "efficientdet-lite",
+                ObjectDetection,
+                Some(72.0),
+                None,
+                Some(68.0),
+                s(0.5, 1),
+            ),
+            Model::new(
+                "mobilenetDetv1",
+                ObjectDetection,
+                Some(38.0),
+                Some(13.0),
+                Some(38.0),
+                s(0.95, 2),
+            ),
+            Model::new(
+                "efficientclass-lite0",
+                ImageClassification,
+                Some(28.0),
+                Some(10.0),
+                Some(29.0),
+                s(0.95, 2),
+            ),
+            Model::new(
+                "inception-v1-q",
+                ImageClassification,
+                Some(28.0),
+                Some(8.0),
+                Some(36.0),
+                s(0.97, 1),
+            ),
+            Model::new(
+                "mobilenet-v1",
+                ImageClassification,
+                Some(26.0),
+                Some(9.5),
+                Some(28.0),
+                s(0.95, 1),
+            ),
+            Model::new(
+                "model-metadata",
+                GestureDetection,
+                Some(12.7),
+                Some(18.0),
+                Some(14.0),
+                s(0.25, 2),
+            ),
+            Model::new(
+                "mnist",
+                DigitClassification,
+                Some(5.5),
+                Some(6.5),
+                Some(6.0),
+                s(0.60, 1),
+            ),
         ];
         ModelZoo {
             device: "Samsung Galaxy S22".to_owned(),
@@ -61,15 +122,78 @@ impl ModelZoo {
         use TaskKind::*;
         let s = NnapiStructure::new;
         let models = vec![
-            Model::new("deconv-munet", ImageSegmentation, Some(17.9), None, Some(65.9), s(0.5, 1)),
-            Model::new("deeplabv3", ImageSegmentation, Some(136.6), None, Some(110.1), s(0.5, 1)),
-            Model::new("efficientdet-lite", ObjectDetection, Some(109.8), None, Some(97.3), s(0.5, 1)),
-            Model::new("mobilenetDetv1", ObjectDetection, Some(56.5), Some(18.1), Some(48.9), s(0.95, 2)),
-            Model::new("efficientclass-lite0", ImageClassification, Some(43.37), Some(18.3), Some(41.5), s(0.95, 2)),
-            Model::new("inception-v1-q", ImageClassification, Some(60.8), Some(8.7), Some(63.2), s(0.97, 1)),
-            Model::new("mobilenet-v1", ImageClassification, Some(37.1), Some(10.2), Some(40.5), s(0.95, 1)),
-            Model::new("model-metadata", GestureDetection, Some(24.6), Some(40.7), Some(25.5), s(0.25, 2)),
-            Model::new("mnist", DigitClassification, Some(5.0), Some(6.5), Some(5.5), s(0.60, 1)),
+            Model::new(
+                "deconv-munet",
+                ImageSegmentation,
+                Some(17.9),
+                None,
+                Some(65.9),
+                s(0.5, 1),
+            ),
+            Model::new(
+                "deeplabv3",
+                ImageSegmentation,
+                Some(136.6),
+                None,
+                Some(110.1),
+                s(0.5, 1),
+            ),
+            Model::new(
+                "efficientdet-lite",
+                ObjectDetection,
+                Some(109.8),
+                None,
+                Some(97.3),
+                s(0.5, 1),
+            ),
+            Model::new(
+                "mobilenetDetv1",
+                ObjectDetection,
+                Some(56.5),
+                Some(18.1),
+                Some(48.9),
+                s(0.95, 2),
+            ),
+            Model::new(
+                "efficientclass-lite0",
+                ImageClassification,
+                Some(43.37),
+                Some(18.3),
+                Some(41.5),
+                s(0.95, 2),
+            ),
+            Model::new(
+                "inception-v1-q",
+                ImageClassification,
+                Some(60.8),
+                Some(8.7),
+                Some(63.2),
+                s(0.97, 1),
+            ),
+            Model::new(
+                "mobilenet-v1",
+                ImageClassification,
+                Some(37.1),
+                Some(10.2),
+                Some(40.5),
+                s(0.95, 1),
+            ),
+            Model::new(
+                "model-metadata",
+                GestureDetection,
+                Some(24.6),
+                Some(40.7),
+                Some(25.5),
+                s(0.25, 2),
+            ),
+            Model::new(
+                "mnist",
+                DigitClassification,
+                Some(5.0),
+                Some(6.5),
+                Some(5.5),
+                s(0.60, 1),
+            ),
         ];
         ModelZoo {
             device: "Google Pixel 7".to_owned(),
@@ -142,7 +266,10 @@ mod tests {
     #[test]
     fn s22_na_entries_match_table1() {
         let zoo = ModelZoo::galaxy_s22();
-        assert!(!zoo.get("efficientdet-lite").unwrap().supports(Delegate::Nnapi));
+        assert!(!zoo
+            .get("efficientdet-lite")
+            .unwrap()
+            .supports(Delegate::Nnapi));
     }
 
     #[test]
@@ -151,7 +278,11 @@ mod tests {
         // (mnist, model-metadata x2) and three NNAPI-preferred.
         let zoo = ModelZoo::pixel7();
         for name in ["mnist", "model-metadata"] {
-            assert_eq!(zoo.get(name).unwrap().best_delegate().0, Delegate::Gpu, "{name}");
+            assert_eq!(
+                zoo.get(name).unwrap().best_delegate().0,
+                Delegate::Gpu,
+                "{name}"
+            );
         }
         for name in ["mobilenetDetv1", "mobilenet-v1", "efficientclass-lite0"] {
             assert_eq!(
@@ -167,15 +298,27 @@ mod tests {
         // Section III-B: "on the S22 Deeplabv3 … has a higher affinity with
         // NNAPI".
         let zoo = ModelZoo::galaxy_s22();
-        assert_eq!(zoo.get("deeplabv3").unwrap().best_delegate().0, Delegate::Nnapi);
+        assert_eq!(
+            zoo.get("deeplabv3").unwrap().best_delegate().0,
+            Delegate::Nnapi
+        );
         // "model-metadata and deconv-munet show better affinity with GPU".
-        assert_eq!(zoo.get("deconv-munet").unwrap().best_delegate().0, Delegate::Gpu);
-        assert_eq!(zoo.get("model-metadata").unwrap().best_delegate().0, Delegate::Gpu);
+        assert_eq!(
+            zoo.get("deconv-munet").unwrap().best_delegate().0,
+            Delegate::Gpu
+        );
+        assert_eq!(
+            zoo.get("model-metadata").unwrap().best_delegate().0,
+            Delegate::Gpu
+        );
     }
 
     #[test]
     fn for_device_dispatches() {
-        assert_eq!(ModelZoo::for_device("Google Pixel 7").device(), "Google Pixel 7");
+        assert_eq!(
+            ModelZoo::for_device("Google Pixel 7").device(),
+            "Google Pixel 7"
+        );
         assert_eq!(
             ModelZoo::for_device("Samsung Galaxy S22").device(),
             "Samsung Galaxy S22"

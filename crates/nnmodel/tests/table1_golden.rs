@@ -1,0 +1,116 @@
+//! Golden tests pinning the model zoos to Table I of the paper.
+//!
+//! The table below is transcribed independently from the published
+//! numbers (see `PAPER.md` / `EXPERIMENTS.md` — Table I, "response time
+//! of TFLite models on Galaxy S22 and Pixel 7 across GPU / NNAPI /
+//! CPU"), *not* read back from the zoo, so any drift in the calibration
+//! data shows up as a named cell mismatch rather than silently moving
+//! every downstream experiment.
+
+use nnmodel::{Delegate, ModelZoo};
+use soc::DeviceProfile;
+
+/// One Table I row: model name and its GPU / NNAPI / CPU isolated
+/// latencies in milliseconds. `None` is an NA (incompatible) cell.
+type Row = (&'static str, [Option<f64>; 3]);
+
+/// Table I, Samsung Galaxy S22 column (plus the mnist row the scenario
+/// tasksets add; the paper's eight models come first).
+const GALAXY_S22: &[Row] = &[
+    ("deconv-munet", [Some(18.0), Some(33.0), Some(58.0)]),
+    ("deeplabv3", [Some(45.0), Some(27.0), Some(46.0)]),
+    ("efficientdet-lite", [Some(72.0), None, Some(68.0)]),
+    ("mobilenetDetv1", [Some(38.0), Some(13.0), Some(38.0)]),
+    ("efficientclass-lite0", [Some(28.0), Some(10.0), Some(29.0)]),
+    ("inception-v1-q", [Some(28.0), Some(8.0), Some(36.0)]),
+    ("mobilenet-v1", [Some(26.0), Some(9.5), Some(28.0)]),
+    ("model-metadata", [Some(12.7), Some(18.0), Some(14.0)]),
+    ("mnist", [Some(5.5), Some(6.5), Some(6.0)]),
+];
+
+/// Table I, Google Pixel 7 column — the main evaluation device. Its
+/// NNAPI rejects both segmentation models and efficientdet-lite.
+const PIXEL_7: &[Row] = &[
+    ("deconv-munet", [Some(17.9), None, Some(65.9)]),
+    ("deeplabv3", [Some(136.6), None, Some(110.1)]),
+    ("efficientdet-lite", [Some(109.8), None, Some(97.3)]),
+    ("mobilenetDetv1", [Some(56.5), Some(18.1), Some(48.9)]),
+    (
+        "efficientclass-lite0",
+        [Some(43.37), Some(18.3), Some(41.5)],
+    ),
+    ("inception-v1-q", [Some(60.8), Some(8.7), Some(63.2)]),
+    ("mobilenet-v1", [Some(37.1), Some(10.2), Some(40.5)]),
+    ("model-metadata", [Some(24.6), Some(40.7), Some(25.5)]),
+    ("mnist", [Some(5.0), Some(6.5), Some(5.5)]),
+];
+
+const DELEGATES: [Delegate; 3] = [Delegate::Gpu, Delegate::Nnapi, Delegate::Cpu];
+
+fn assert_zoo_matches(zoo: &ModelZoo, golden: &[Row]) {
+    let device = zoo.device();
+    assert_eq!(zoo.len(), golden.len(), "{device}: zoo size vs Table I");
+    for (name, latencies) in golden {
+        let model = zoo
+            .get(name)
+            .unwrap_or_else(|| panic!("{device}: Table I model {name} missing from zoo"));
+        for (expected, delegate) in latencies.iter().zip(DELEGATES) {
+            let got = model.isolated_ms(delegate);
+            match (expected, got) {
+                (Some(want), Some(have)) => assert!(
+                    (want - have).abs() < 1e-9,
+                    "{device} / {name} / {delegate}: Table I says {want} ms, zoo says {have} ms"
+                ),
+                (None, None) => {}
+                _ => panic!(
+                    "{device} / {name} / {delegate}: NA mismatch — Table I {expected:?}, zoo {got:?}"
+                ),
+            }
+        }
+    }
+    // Table I order is part of the contract: `ModelZoo::iter` feeds the
+    // Table I renderer, which must list models in the published order.
+    let zoo_order: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+    let golden_order: Vec<&str> = golden.iter().map(|(n, _)| *n).collect();
+    assert_eq!(zoo_order, golden_order, "{device}: Table I row order");
+}
+
+#[test]
+fn galaxy_s22_zoo_matches_table1_golden() {
+    assert_zoo_matches(&ModelZoo::galaxy_s22(), GALAXY_S22);
+}
+
+#[test]
+fn pixel7_zoo_matches_table1_golden() {
+    assert_zoo_matches(&ModelZoo::pixel7(), PIXEL_7);
+}
+
+#[test]
+fn na_cells_reject_execution_plans() {
+    // An NA cell is not just a missing number: the delegate partitioner
+    // must refuse to build an execution plan for the incompatible pair,
+    // and `supports` must agree.
+    for (zoo, device, golden) in [
+        (
+            ModelZoo::galaxy_s22(),
+            DeviceProfile::galaxy_s22(),
+            GALAXY_S22,
+        ),
+        (ModelZoo::pixel7(), DeviceProfile::pixel7(), PIXEL_7),
+    ] {
+        let (_, procs) = device.topology();
+        for (name, latencies) in golden {
+            let model = zoo.get(name).unwrap();
+            for (expected, delegate) in latencies.iter().zip(DELEGATES) {
+                let plan = model.plan(delegate, &device, procs);
+                assert_eq!(
+                    plan.is_some(),
+                    expected.is_some(),
+                    "{} / {name} / {delegate}: plan availability must track Table I NA cells",
+                    zoo.device()
+                );
+                assert_eq!(model.supports(delegate), expected.is_some());
+            }
+        }
+    }
+}

@@ -10,8 +10,13 @@
 //!   broken by insertion sequence, so replays are bit-identical.
 //! * [`Simulator`] — a thin driver that pops events and hands them to a
 //!   user-supplied handler together with a scheduling context.
+//! * [`rand`] — an in-tree deterministic PRNG (xoshiro256++) with a
+//!   `rand`-crate-shaped API, so the workspace builds hermetically with no
+//!   registry dependencies.
 //! * [`rng`] — named, independently seeded RNG streams so that adding a new
 //!   random consumer does not perturb existing ones.
+//! * [`check`] — a seeded property-testing mini-framework (case
+//!   generation, shrinking, failure-seed reporting) replacing `proptest`.
 //! * [`stats`] — online statistics (Welford mean/variance, time-weighted
 //!   averages, sliding windows, log-bucket histograms) used by the metric
 //!   collectors.
@@ -32,7 +37,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod queue;
+pub mod rand;
 pub mod rng;
 pub mod stats;
 mod time;

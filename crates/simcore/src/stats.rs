@@ -308,7 +308,10 @@ impl LogHistogram {
     /// Panics if `base <= 0`, `growth <= 1`, or `buckets == 0`.
     pub fn new(base: f64, growth: f64, buckets: usize) -> Self {
         assert!(base > 0.0 && base.is_finite(), "invalid base: {base}");
-        assert!(growth > 1.0 && growth.is_finite(), "invalid growth: {growth}");
+        assert!(
+            growth > 1.0 && growth.is_finite(),
+            "invalid growth: {growth}"
+        );
         assert!(buckets > 0, "need at least one bucket");
         LogHistogram {
             base,

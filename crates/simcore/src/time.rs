@@ -8,8 +8,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// Number of nanoseconds per second.
 const NANOS_PER_SEC: f64 = 1e9;
 /// Number of nanoseconds per millisecond.
@@ -18,11 +16,11 @@ const NANOS_PER_MILLI: f64 = 1e6;
 const NANOS_PER_MICRO: f64 = 1e3;
 
 /// An instant on the simulated clock, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -52,7 +50,10 @@ impl SimTime {
     ///
     /// Panics if `millis` is negative or not finite.
     pub fn from_millis_f64(millis: f64) -> Self {
-        assert!(millis.is_finite() && millis >= 0.0, "invalid time: {millis}");
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "invalid time: {millis}"
+        );
         SimTime((millis * NANOS_PER_MILLI).round() as u64)
     }
 

@@ -1,64 +1,85 @@
-//! Property tests for the discrete-event engine's ordering guarantees.
+//! Property tests for the discrete-event engine's ordering guarantees,
+//! run on the in-tree `simcore::check` framework.
 
-use proptest::prelude::*;
+use simcore::check::{self, u64s, vec};
+use simcore::{prop_assert, prop_assert_eq};
 use simcore::{EventQueue, SimDuration, SimTime, Simulator};
 
-proptest! {
-    /// Whatever the insertion order, events pop in non-decreasing time
-    /// order, with FIFO among ties.
-    #[test]
-    fn pops_sorted_with_fifo_ties(times in prop::collection::vec(0u64..50, 1..64)) {
-        let mut q = EventQueue::new();
-        for (seq, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_nanos(t), (t, seq));
-        }
-        let mut last: Option<(u64, usize)> = None;
-        while let Some((time, (t, seq))) = q.pop() {
-            prop_assert_eq!(time, SimTime::from_nanos(t));
-            if let Some((lt, lseq)) = last {
-                prop_assert!(t >= lt);
-                if t == lt {
-                    prop_assert!(seq > lseq, "FIFO violated among ties");
+/// Whatever the insertion order, events pop in non-decreasing time
+/// order, with FIFO among ties.
+#[test]
+fn pops_sorted_with_fifo_ties() {
+    check::check(
+        "pops_sorted_with_fifo_ties",
+        vec(u64s(0..50), 1..64),
+        |times| {
+            let mut q = EventQueue::new();
+            for (seq, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), (t, seq));
+            }
+            let mut last: Option<(u64, usize)> = None;
+            while let Some((time, (t, seq))) = q.pop() {
+                prop_assert_eq!(time, SimTime::from_nanos(t));
+                if let Some((lt, lseq)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(seq > lseq, "FIFO violated among ties");
+                    }
                 }
+                last = Some((t, seq));
             }
-            last = Some((t, seq));
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The simulator dispatches every event scheduled before the deadline
-    /// exactly once and leaves the rest pending.
-    #[test]
-    fn run_until_is_a_clean_partition(times in prop::collection::vec(0u64..1_000, 1..64), cut in 0u64..1_000) {
-        let mut sim = Simulator::new();
-        for &t in &times {
-            sim.schedule(SimTime::from_nanos(t), t);
-        }
-        let mut seen = Vec::new();
-        sim.run_until(SimTime::from_nanos(cut), |_, t| seen.push(t));
-        let expected = times.iter().filter(|&&t| t <= cut).count();
-        prop_assert_eq!(seen.len(), expected);
-        prop_assert_eq!(sim.pending(), times.len() - expected);
-        for t in seen {
-            prop_assert!(t <= cut);
-        }
-    }
-
-    /// Chained self-scheduling advances time monotonically.
-    #[test]
-    fn chained_events_never_go_backwards(steps in prop::collection::vec(1u64..1_000_000, 1..32)) {
-        let mut sim = Simulator::new();
-        sim.schedule(SimTime::ZERO, 0usize);
-        let mut stamps = Vec::new();
-        let steps_ref = steps.clone();
-        sim.run_until(SimTime::MAX, |sched, idx| {
-            stamps.push(sched.now());
-            if idx < steps_ref.len() {
-                sched.schedule_after(SimDuration::from_nanos(steps_ref[idx]), idx + 1);
+/// The simulator dispatches every event scheduled before the deadline
+/// exactly once and leaves the rest pending.
+#[test]
+fn run_until_is_a_clean_partition() {
+    check::check(
+        "run_until_is_a_clean_partition",
+        (vec(u64s(0..1_000), 1..64), u64s(0..1_000)),
+        |(times, cut)| {
+            let mut sim = Simulator::new();
+            for &t in times {
+                sim.schedule(SimTime::from_nanos(t), t);
             }
-        });
-        prop_assert_eq!(stamps.len(), steps.len() + 1);
-        for w in stamps.windows(2) {
-            prop_assert!(w[0] <= w[1]);
-        }
-    }
+            let mut seen = Vec::new();
+            sim.run_until(SimTime::from_nanos(*cut), |_, t| seen.push(t));
+            let expected = times.iter().filter(|&&t| t <= *cut).count();
+            prop_assert_eq!(seen.len(), expected);
+            prop_assert_eq!(sim.pending(), times.len() - expected);
+            for t in seen {
+                prop_assert!(t <= *cut);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Chained self-scheduling advances time monotonically.
+#[test]
+fn chained_events_never_go_backwards() {
+    check::check(
+        "chained_events_never_go_backwards",
+        vec(u64s(1..1_000_000), 1..32),
+        |steps| {
+            let mut sim = Simulator::new();
+            sim.schedule(SimTime::ZERO, 0usize);
+            let mut stamps = Vec::new();
+            let steps_ref = steps.clone();
+            sim.run_until(SimTime::MAX, |sched, idx| {
+                stamps.push(sched.now());
+                if idx < steps_ref.len() {
+                    sched.schedule_after(SimDuration::from_nanos(steps_ref[idx]), idx + 1);
+                }
+            });
+            prop_assert_eq!(stamps.len(), steps.len() + 1);
+            for w in stamps.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+            Ok(())
+        },
+    );
 }

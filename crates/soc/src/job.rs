@@ -1,17 +1,16 @@
 //! Work descriptions: stages, streams (AI inference loops), and sources
 //! (the render loop).
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::topology::ProcId;
 
 /// Handle to a stream created by [`crate::SocSim::add_stream`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(pub(crate) usize);
 
 /// Handle to a periodic source created by [`crate::SocSim::add_source`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SourceId(pub(crate) usize);
 
 impl StreamId {
@@ -31,7 +30,7 @@ impl SourceId {
 /// One step of a job: either compute time on a processor (subject to
 /// queueing/sharing) or a fixed delay (e.g. a DMA copy between host and
 /// accelerator memory, which does not contend for the processors).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Stage {
     /// `work` of dedicated service time on processor `proc`.
     Compute {
@@ -69,7 +68,7 @@ impl Stage {
 }
 
 /// A validated, non-empty sequence of stages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageSeq(Vec<Stage>);
 
 impl StageSeq {
@@ -120,7 +119,7 @@ impl From<Vec<Stage>> for StageSeq {
 /// task is *rate-anchored* (a camera-frame-driven inference loop that
 /// skips ahead when it falls behind); without one it runs back-to-back
 /// after `gap` of think time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamSpec {
     /// The stages of one job instance (one inference).
     pub stages: StageSeq,
@@ -174,7 +173,7 @@ impl StreamSpec {
 /// Description of a periodic source: a job released every `period`
 /// (the render loop releasing one frame per vsync), skipping releases when
 /// `max_outstanding` jobs are already in flight (frame dropping).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourceSpec {
     /// The stages of one job instance (one frame).
     pub stages: StageSeq,
@@ -228,7 +227,10 @@ mod tests {
 
     #[test]
     fn seq_totals() {
-        let seq = StageSeq::new(vec![Stage::delay(ms(1.0)), Stage::compute(ProcId(0), ms(4.0))]);
+        let seq = StageSeq::new(vec![
+            Stage::delay(ms(1.0)),
+            Stage::compute(ProcId(0), ms(4.0)),
+        ]);
         assert_eq!(seq.len(), 2);
         assert_eq!(seq.nominal_total(), ms(5.0));
         assert!(!seq.is_empty());

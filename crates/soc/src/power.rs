@@ -11,14 +11,13 @@
 //! ~1 W — an NPU's whole advantage is perf/W), not device-exact; the
 //! energy *comparisons* between configurations are the meaningful output.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 use crate::sim::SocSim;
 use crate::topology::ProcId;
 
 /// Idle/active power of one processor, in watts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProcessorPower {
     /// Power drawn when no job is resident.
     pub idle_w: f64,
@@ -44,7 +43,7 @@ impl ProcessorPower {
 }
 
 /// Power model of a device: one entry per processor of its topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     entries: Vec<(String, ProcessorPower)>,
 }
@@ -151,7 +150,11 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(10.0));
         let report = sim.energy_report(&PowerModel::phone_default());
         // 0.25 + 0.10 + 0.20 + 0.05 = 0.6 W idle for 10 s = 6 J.
-        assert!((report.total_j() - 6.0).abs() < 1e-6, "{}", report.total_j());
+        assert!(
+            (report.total_j() - 6.0).abs() < 1e-6,
+            "{}",
+            report.total_j()
+        );
         assert!((report.average_w() - 0.6).abs() < 1e-9);
     }
 
@@ -162,7 +165,10 @@ mod tests {
         let mut sim = SocSim::new(topo);
         // Saturate one CPU lane (50% of the 2-slot cluster).
         sim.add_stream(StreamSpec::new(
-            vec![Stage::compute(procs.cpu, SimDuration::from_millis_f64(10.0))],
+            vec![Stage::compute(
+                procs.cpu,
+                SimDuration::from_millis_f64(10.0),
+            )],
             SimDuration::ZERO,
         ));
         sim.run_until(SimTime::from_secs_f64(10.0));
@@ -186,7 +192,10 @@ mod tests {
         // Two always-resident GPU streams: residency 2, but one engine.
         for _ in 0..2 {
             sim.add_stream(StreamSpec::new(
-                vec![Stage::compute(procs.gpu, SimDuration::from_millis_f64(20.0))],
+                vec![Stage::compute(
+                    procs.gpu,
+                    SimDuration::from_millis_f64(20.0),
+                )],
                 SimDuration::ZERO,
             ));
         }

@@ -6,7 +6,6 @@
 //! constants — see Table I of the paper); the profile carries everything
 //! that is a property of the *device*.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 use crate::server::ServicePolicy;
@@ -18,7 +17,7 @@ use crate::topology::{ProcId, Topology};
 /// traversal) followed by a GPU job whose service time grows with the
 /// number of *visible* triangles (after backface culling and distance
 /// attenuation — computed by `arscene`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RenderCost {
     /// Fixed GPU time per frame (ms): swapchain, composition.
     pub gpu_base_ms: f64,
@@ -43,7 +42,7 @@ impl RenderCost {
 }
 
 /// The processor ids of a standard phone topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SocProcs {
     /// The CPU inference lanes (FIFO, [`DeviceProfile::cpu_slots`] slots —
     /// 2 on the calibrated phones): a couple of multi-threaded TFLite
@@ -70,7 +69,7 @@ pub struct SocProcs {
 /// let (topo, procs) = dev.topology();
 /// assert_eq!(topo.spec(procs.gpu).name, "gpu");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     /// Marketing name of the device.
     pub name: String,

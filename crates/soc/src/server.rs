@@ -7,14 +7,13 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
 use simcore::stats::TimeWeighted;
 use simcore::{SimDuration, SimTime};
 
 use crate::job::{SourceId, StreamId};
 
 /// How a processor serves queued work.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServicePolicy {
     /// `slots` parallel servers fed from one FIFO queue (CPU cluster, NPU).
     Fifo {
@@ -229,8 +228,7 @@ impl PsServer {
         });
         if !finished.is_empty() {
             self.completed += finished.len() as u64;
-            self.active
-                .add(now, -(finished.len() as f64));
+            self.active.add(now, -(finished.len() as f64));
             if self.jobs.is_empty() {
                 self.busy.set(now, 0.0);
             }

@@ -523,8 +523,8 @@ impl SocState {
                     next = next.max(st.started_at + period);
                 }
                 if !st.spec.jitter.is_zero() {
-                    let j = simcore::rng::mix(id.0 as u64, st.seq)
-                        % st.spec.jitter.as_nanos().max(1);
+                    let j =
+                        simcore::rng::mix(id.0 as u64, st.seq) % st.spec.jitter.as_nanos().max(1);
                     next += simcore::SimDuration::from_nanos(j);
                 }
                 sched.schedule_at(next, SocEvent::StreamStart { stream: id.0 });
@@ -567,7 +567,10 @@ mod tests {
     fn single_stream_runs_at_nominal_latency() {
         let (t, cpu, _, _) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(cpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(1.0));
         let m = sim.stream_metrics(s);
         assert_eq!(m.completed(), 100);
@@ -578,8 +581,14 @@ mod tests {
     fn fifo_contention_doubles_latency() {
         let (t, _, _, npu) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let a = sim.add_stream(StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)));
-        let b = sim.add_stream(StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)));
+        let a = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(npu, ms(10.0))],
+            ms(0.0),
+        ));
+        let b = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(npu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(2.0));
         // Two back-to-back streams on a single-slot FIFO alternate: each
         // inference waits ~10 ms then runs 10 ms.
@@ -593,8 +602,14 @@ mod tests {
     fn ps_contention_shares_rate() {
         let (t, _, gpu, _) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let a = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
-        let b = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        let a = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(gpu, ms(10.0))],
+            ms(0.0),
+        ));
+        let b = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(gpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(2.0));
         for id in [a, b] {
             let mean = sim.stream_metrics(id).latency_overall().mean();
@@ -636,7 +651,10 @@ mod tests {
     fn update_stream_applies_at_restart() {
         let (t, cpu, _, npu) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)));
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(npu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(1.0));
         sim.update_stream(s, vec![Stage::compute(cpu, ms(20.0))]);
         sim.run_until(secs(2.0));
@@ -669,13 +687,19 @@ mod tests {
         let (t, _, gpu, _) = topo_cgn();
         // Baseline: stream alone.
         let mut sim = SocSim::new(t.clone());
-        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(gpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(2.0));
         let alone = sim.stream_metrics(s).latency_overall().mean();
 
         // With a render source taking ~50% of the GPU.
         let mut sim = SocSim::new(t);
-        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(gpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.add_source(SourceSpec::new(
             vec![Stage::compute(gpu, ms(8.0))],
             ms(16.0),
@@ -693,7 +717,10 @@ mod tests {
     fn update_source_changes_render_load() {
         let (t, _, gpu, _) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(gpu, ms(10.0))], ms(0.0)));
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(gpu, ms(10.0))],
+            ms(0.0),
+        ));
         let src = sim.add_source(SourceSpec::new(
             vec![Stage::compute(gpu, ms(1.0))],
             ms(16.0),
@@ -725,7 +752,10 @@ mod tests {
     fn processor_metrics_report_activity() {
         let (t, cpu, gpu, _) = topo_cgn();
         let mut sim = SocSim::new(t);
-        sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(cpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(1.0));
         let cm = sim.processor_metrics(cpu);
         assert_eq!(cm.name, "cpu");
@@ -739,8 +769,14 @@ mod tests {
     fn latency_percentiles_bracket_the_mean() {
         let (t, cpu, _, _) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let a = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
-        let b = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        let a = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(cpu, ms(10.0))],
+            ms(0.0),
+        ));
+        let b = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(cpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(2.0));
         for id in [a, b] {
             let m = sim.stream_metrics(id);
@@ -749,7 +785,10 @@ mod tests {
             assert!(p99 >= p50);
             // Log buckets are ~10% wide: p50 brackets the mean loosely.
             let mean = m.latency_overall().mean();
-            assert!(p50 > mean * 0.5 && p50 < mean * 2.0, "p50 {p50} mean {mean}");
+            assert!(
+                p50 > mean * 0.5 && p50 < mean * 2.0,
+                "p50 {p50} mean {mean}"
+            );
         }
     }
 
@@ -757,7 +796,10 @@ mod tests {
     fn mean_since_filters_by_time() {
         let (t, cpu, _, _) = topo_cgn();
         let mut sim = SocSim::new(t);
-        let s = sim.add_stream(StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)));
+        let s = sim.add_stream(StreamSpec::new(
+            vec![Stage::compute(cpu, ms(10.0))],
+            ms(0.0),
+        ));
         sim.run_until(secs(1.0));
         let m = sim.stream_metrics(s);
         assert!(m.mean_since(secs(0.99)).is_some());
@@ -781,8 +823,7 @@ mod tests {
         let (t, cpu, _, _) = topo_cgn();
         let mut sim = SocSim::new(t);
         let s = sim.add_stream(
-            StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0))
-                .with_period(ms(50.0)),
+            StreamSpec::new(vec![Stage::compute(cpu, ms(10.0))], ms(0.0)).with_period(ms(50.0)),
         );
         sim.run_until(secs(1.0));
         let m = sim.stream_metrics(s);
@@ -797,8 +838,7 @@ mod tests {
         let mut sim = SocSim::new(t);
         // 30 ms of work on a 20 ms period: the stream runs back-to-back.
         let s = sim.add_stream(
-            StreamSpec::new(vec![Stage::compute(cpu, ms(30.0))], ms(0.0))
-                .with_period(ms(20.0)),
+            StreamSpec::new(vec![Stage::compute(cpu, ms(30.0))], ms(0.0)).with_period(ms(20.0)),
         );
         sim.run_until(secs(0.9));
         let m = sim.stream_metrics(s);

@@ -1,11 +1,9 @@
 //! Processor topology description.
 
-use serde::{Deserialize, Serialize};
-
 use crate::server::ServicePolicy;
 
 /// Index of a processor within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub(crate) usize);
 
 impl ProcId {
@@ -22,7 +20,7 @@ impl std::fmt::Display for ProcId {
 }
 
 /// Static description of one processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorSpec {
     /// Human-readable name, e.g. `"cpu"`, `"gpu"`, `"npu"`.
     pub name: String,
@@ -44,7 +42,7 @@ pub struct ProcessorSpec {
 /// assert_eq!(topo.proc_by_name("gpu"), Some(gpu));
 /// assert_eq!(topo.spec(cpu).name, "cpu");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Topology {
     processors: Vec<ProcessorSpec>,
 }

@@ -24,10 +24,7 @@ fn main() {
         ("torus (curved, holes)", Mesh::torus(0.35, 40, 28)),
         ("rock (irregular, high detail)", Mesh::rock(7, 40, 40)),
     ] {
-        println!(
-            "== {name}: {} triangles ==",
-            mesh.triangle_count()
-        );
+        println!("== {name}: {} triangles ==", mesh.triangle_count());
         let samples = measure_degradation(&mesh, &ratios, &distances, 128);
         let (params, stats) = fit_params(&samples);
         println!(

@@ -33,8 +33,7 @@ fn main() {
         ("plain event-based HBO", PolicyKind::EventBased),
         ("lookup-assisted HBO", PolicyKind::LookupAssisted),
     ] {
-        let trace =
-            run_activation_study(&spec, &config, policy, &placements, &moves, 300.0, 3);
+        let trace = run_activation_study(&spec, &config, policy, &placements, &moves, 300.0, 3);
         let exploring = trace.samples.iter().filter(|s| s.during_activation).count();
         let steady: Vec<f64> = trace
             .samples

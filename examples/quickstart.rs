@@ -33,8 +33,7 @@ fn main() {
     println!(
         "\nHBO chose: triangle ratio x = {:.2}, allocation = {:?}",
         best.point.x,
-        best
-            .point
+        best.point
             .allocation
             .iter()
             .zip(app.task_names())

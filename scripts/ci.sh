@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as CI runs it.
+#
+# Hermetic-build policy: the workspace must build and test with cargo's
+# network access disabled — every dependency is an in-tree path crate
+# (see [workspace.dependencies] in Cargo.toml). --offline turns any
+# accidental registry dependency into a hard failure here instead of a
+# broken build on an air-gapped machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> OK"

@@ -4,7 +4,7 @@
 
 use hbo_core::{HboConfig, HboController};
 use hbo_suite::prelude::*;
-use rand::SeedableRng;
+use simcore::rand::SeedableRng;
 
 #[test]
 fn controller_points_are_always_applicable_to_the_app() {
@@ -15,7 +15,7 @@ fn controller_points_are_always_applicable_to_the_app() {
     let mut app = MarApp::new(&spec);
     app.place_all_objects();
     let mut hbo = HboController::new(spec.profiles(), HboConfig::default());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    let mut rng = simcore::rand::StdRng::seed_from_u64(123);
     for _ in 0..30 {
         let point = hbo.next_point(&mut rng);
         app.apply(&point);
@@ -42,7 +42,10 @@ fn quality_reported_by_app_matches_scene_model() {
 fn render_load_follows_the_scene_through_the_app() {
     let spec = ScenarioSpec::sc1_cf1();
     let mut app = MarApp::new(&spec);
-    assert_eq!(app.render_utilization(), soc::DeviceProfile::pixel7().render.gpu_base_ms / 16.7);
+    assert_eq!(
+        app.render_utilization(),
+        soc::DeviceProfile::pixel7().render.gpu_base_ms / 16.7
+    );
     app.place_all_objects();
     let full = app.render_utilization();
     app.set_triangle_ratio(0.3);
@@ -72,8 +75,7 @@ fn placements_respect_the_enforced_ratio() {
 fn fitting_pipeline_feeds_a_usable_scene_object() {
     // mesh -> decimate/render/GMSD -> fit -> VirtualObject -> TD.
     let mesh = arscene::mesh::Mesh::rock(11, 20, 20);
-    let samples =
-        arscene::fit::measure_degradation(&mesh, &[0.2, 0.5, 0.8, 1.0], &[2.0, 3.5], 72);
+    let samples = arscene::fit::measure_degradation(&mesh, &[0.2, 0.5, 0.8, 1.0], &[2.0, 3.5], 72);
     let (params, _) = arscene::fit::fit_params(&samples);
     let mut scene = Scene::new(1.5);
     scene.add_object(VirtualObject::new(

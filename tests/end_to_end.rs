@@ -47,7 +47,10 @@ fn baseline_ordering_matches_the_paper() {
     let result = compare_baselines(&ScenarioSpec::sc1_cf1(), &quick_config(), 2024);
     let eps = |b| result.outcome(b).measurement.epsilon;
     assert!(eps(Baseline::Smq) > eps(Baseline::Hbo) * 1.2, "SMQ vs HBO");
-    assert!(eps(Baseline::AllN) > eps(Baseline::Hbo) * 2.0, "AllN vs HBO");
+    assert!(
+        eps(Baseline::AllN) > eps(Baseline::Hbo) * 2.0,
+        "AllN vs HBO"
+    );
     assert!(eps(Baseline::AllN) > eps(Baseline::Bnt), "AllN vs BNT");
     // Quality orderings: BNT and AllN never decimate.
     let q = |b| result.outcome(b).measurement.quality;
@@ -90,6 +93,77 @@ fn experiments_are_deterministic_per_seed() {
         r.records.iter().map(|rec| rec.point.z.clone()).collect()
     };
     assert_ne!(points(&a), points(&c));
+}
+
+#[test]
+fn same_master_seed_replays_the_exact_event_timeline() {
+    // Determinism must hold at trace granularity, not just for summary
+    // statistics: two runs from one master seed replay the same
+    // frame-by-frame timeline — every latency sample, every delegate
+    // change, every activation decision, at the same timestamps.
+    let device = DeviceProfile::galaxy_s22();
+    let zoo = ModelZoo::galaxy_s22();
+    let script = vec![
+        marsim::timeline::ScriptPoint {
+            at_secs: 0.0,
+            event: marsim::timeline::ScriptEvent::StartTask {
+                model: "deeplabv3".to_owned(),
+                delegate: nnmodel::Delegate::Nnapi,
+            },
+        },
+        marsim::timeline::ScriptPoint {
+            at_secs: 1.0,
+            event: marsim::timeline::ScriptEvent::StartTask {
+                model: "inception-v1-q".to_owned(),
+                delegate: nnmodel::Delegate::Cpu,
+            },
+        },
+        marsim::timeline::ScriptPoint {
+            at_secs: 2.0,
+            event: marsim::timeline::ScriptEvent::SetRenderLoad {
+                visible_tris: 400_000.0,
+                objects: 5,
+            },
+        },
+    ];
+    let contention = |script: &[marsim::timeline::ScriptPoint]| {
+        marsim::timeline::run_script(&device, &zoo, script, 5.0, 0.5)
+    };
+    let a = contention(&script);
+    let b = contention(&script);
+    // Whole-trace equality: sample grid, every task's latency series and
+    // delegate-change log, every render-load marker.
+    assert_eq!(a, b, "scripted contention timeline must replay exactly");
+    assert!(
+        a.tasks
+            .iter()
+            .any(|t| t.latency_ms.iter().flatten().count() > 0),
+        "trace must actually contain latency samples"
+    );
+
+    // The seeded closed-loop study: reward samples, activation times and
+    // reasons, placements, distance changes — all bit-identical.
+    let spec = ScenarioSpec::sc2_cf1();
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 2,
+        ..HboConfig::default()
+    };
+    let study = |seed: u64| {
+        marsim::timeline::run_activation_study(
+            &spec,
+            &config,
+            marsim::timeline::PolicyKind::EventBased,
+            &[2.0, 8.0],
+            &[(14.0, 2.5)],
+            20.0,
+            seed,
+        )
+    };
+    let a = study(88);
+    let b = study(88);
+    assert_eq!(a, b, "activation study must replay exactly per seed");
+    assert!(!a.samples.is_empty() && !a.placements.is_empty());
 }
 
 #[test]
