@@ -12,28 +12,36 @@
 //! This experiment regenerates that comparison on SC1-CF1: each variant
 //! runs the full HBO activation across several seeds and is scored by the
 //! mean final best cost (lower is better) and the mean iterations to
-//! convergence.
+//! convergence. All variant × seed activations run as one flat job list
+//! on the deterministic parallel runner (`--threads N` / `HBO_THREADS`).
 
 use bayesopt::{Acquisition, BoConfig, Kernel};
-use hbo_bench::Table;
+use hbo_bench::{harness, Table};
 use hbo_core::HboConfig;
-use marsim::experiment::run_hbo;
+use marsim::runner::{self, SweepJob, SweepResult};
 use marsim::ScenarioSpec;
 
 const SEEDS: [u64; 5] = [11, 23, 47, 2024, 9001];
 
-fn evaluate(label: &str, config: &HboConfig, table: &mut Table) {
+fn variant_jobs(label: &str, config: &HboConfig) -> Vec<SweepJob> {
     let spec = ScenarioSpec::sc1_cf1();
-    let mut costs = Vec::new();
-    let mut iters = Vec::new();
-    for &seed in &SEEDS {
-        let run = run_hbo(&spec, config, seed);
-        costs.push(run.best.cost);
-        iters.push(run.iterations_to_converge() as f64);
-    }
+    SEEDS
+        .iter()
+        .map(|&seed| SweepJob::seeded(label, spec.clone(), config.clone(), seed))
+        .collect()
+}
+
+fn summarize(label: &str, sweep: &SweepResult, table: &mut Table) {
+    let outcomes = sweep.labeled(label);
+    assert_eq!(outcomes.len(), SEEDS.len(), "missing runs for {label}");
+    let costs: Vec<f64> = outcomes.iter().map(|o| o.run.best.cost).collect();
     let mean = costs.iter().sum::<f64>() / costs.len() as f64;
     let worst = costs.iter().cloned().fold(f64::MIN, f64::max);
-    let mean_iters = iters.iter().sum::<f64>() / iters.len() as f64;
+    let mean_iters = outcomes
+        .iter()
+        .map(|o| o.run.iterations_to_converge() as f64)
+        .sum::<f64>()
+        / outcomes.len() as f64;
     table.row(vec![
         label.to_owned(),
         format!("{mean:+.3}"),
@@ -63,6 +71,68 @@ fn with_kernel(kernel: Kernel) -> HboConfig {
 }
 
 fn main() {
+    let threads = runner::threads_from_args();
+
+    let acquisition_variants: Vec<(&str, HboConfig)> = vec![
+        (
+            "EI (xi=0.01, paper)",
+            with_acquisition(Acquisition::ExpectedImprovement { xi: 0.01 }),
+        ),
+        (
+            "PI (xi=0.01)",
+            with_acquisition(Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
+        ),
+        (
+            "LCB (kappa=0.5)",
+            with_acquisition(Acquisition::LowerConfidenceBound { kappa: 0.5 }),
+        ),
+        (
+            "LCB (kappa=2.0)",
+            with_acquisition(Acquisition::LowerConfidenceBound { kappa: 2.0 }),
+        ),
+        (
+            "LCB (kappa=8.0)",
+            with_acquisition(Acquisition::LowerConfidenceBound { kappa: 8.0 }),
+        ),
+    ];
+    let kernel_variants: Vec<(&str, HboConfig)> = vec![
+        (
+            "Matern 1/2",
+            with_kernel(Kernel::Matern12 {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            }),
+        ),
+        (
+            "Matern 3/2",
+            with_kernel(Kernel::Matern32 {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            }),
+        ),
+        (
+            "Matern 5/2 (paper)",
+            with_kernel(Kernel::Matern52 {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            }),
+        ),
+        (
+            "RBF",
+            with_kernel(Kernel::Rbf {
+                length_scale: 1.0,
+                signal_var: 1.0,
+            }),
+        ),
+    ];
+
+    // One flat variant × seed job list for the whole ablation.
+    let mut jobs = Vec::new();
+    for (label, config) in acquisition_variants.iter().chain(&kernel_variants) {
+        jobs.extend(variant_jobs(label, config));
+    }
+    let sweep = runner::run_sweep("ablation_bo", jobs, SEEDS[0], threads);
+
     let mut t = Table::new(
         "Ablation — acquisition function (SC1-CF1, 5 seeds, lower cost is better)",
         vec![
@@ -72,31 +142,9 @@ fn main() {
             "mean iters-to-converge".into(),
         ],
     );
-    evaluate(
-        "EI (xi=0.01, paper)",
-        &with_acquisition(Acquisition::ExpectedImprovement { xi: 0.01 }),
-        &mut t,
-    );
-    evaluate(
-        "PI (xi=0.01)",
-        &with_acquisition(Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
-        &mut t,
-    );
-    evaluate(
-        "LCB (kappa=0.5)",
-        &with_acquisition(Acquisition::LowerConfidenceBound { kappa: 0.5 }),
-        &mut t,
-    );
-    evaluate(
-        "LCB (kappa=2.0)",
-        &with_acquisition(Acquisition::LowerConfidenceBound { kappa: 2.0 }),
-        &mut t,
-    );
-    evaluate(
-        "LCB (kappa=8.0)",
-        &with_acquisition(Acquisition::LowerConfidenceBound { kappa: 8.0 }),
-        &mut t,
-    );
+    for (label, _) in &acquisition_variants {
+        summarize(label, &sweep, &mut t);
+    }
     println!("{}", t.render());
     println!(
         "Paper claim: EI wins; PI is too conservative during exploration; LCB's\n\
@@ -112,38 +160,10 @@ fn main() {
             "mean iters-to-converge".into(),
         ],
     );
-    for (label, kernel) in [
-        (
-            "Matern 1/2",
-            Kernel::Matern12 {
-                length_scale: 1.0,
-                signal_var: 1.0,
-            },
-        ),
-        (
-            "Matern 3/2",
-            Kernel::Matern32 {
-                length_scale: 1.0,
-                signal_var: 1.0,
-            },
-        ),
-        (
-            "Matern 5/2 (paper)",
-            Kernel::Matern52 {
-                length_scale: 1.0,
-                signal_var: 1.0,
-            },
-        ),
-        (
-            "RBF",
-            Kernel::Rbf {
-                length_scale: 1.0,
-                signal_var: 1.0,
-            },
-        ),
-    ] {
-        evaluate(label, &with_kernel(kernel), &mut t);
+    for (label, _) in &kernel_variants {
+        summarize(label, &sweep, &mut t);
     }
     println!("{}", t.render());
     println!("Paper claim: \"based on extensive testing we use v = 5/2\".");
+    harness::emit_runner_report(&sweep.report);
 }

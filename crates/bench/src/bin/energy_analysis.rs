@@ -7,10 +7,15 @@
 //! that HBO's triangle reduction also pays an energy dividend (less GPU
 //! rasterization, less DRAM-inflated NPU time).
 
-use hbo_bench::{seeds, Table};
+//!
+//! The five 30-second measurement sessions are independent simulations;
+//! they run concurrently on the deterministic parallel runner
+//! (`--threads N` / `HBO_THREADS`).
+
+use hbo_bench::{harness, seeds, Table};
 use hbo_core::{Baseline, HboConfig};
 use marsim::experiment::compare_baselines;
-use marsim::{MarApp, ScenarioSpec};
+use marsim::{runner, MarApp, ScenarioSpec};
 use soc::PowerModel;
 
 const SPAN_SECS: f64 = 30.0;
@@ -19,6 +24,22 @@ fn main() {
     let spec = ScenarioSpec::sc1_cf1();
     let result = compare_baselines(&spec, &HboConfig::default(), seeds::FIG5);
     let power = PowerModel::phone_default();
+
+    let threads = runner::threads_from_args();
+    let (reports, runner_report) =
+        runner::run_map("energy_analysis", threads, &Baseline::ALL, |_, &b| {
+            let outcome = result.outcome(b);
+            let mut app = MarApp::new(&spec);
+            app.place_all_objects();
+            app.set_allocation(&outcome.allocation);
+            if b == Baseline::Sml {
+                app.set_uniform_ratio(outcome.x);
+            } else {
+                app.set_triangle_ratio(outcome.x);
+            }
+            app.run_for_secs(SPAN_SECS);
+            app.energy_report(&power)
+        });
 
     let mut table = Table::new(
         format!("Energy over a {SPAN_SECS:.0}-second SC1-CF1 session"),
@@ -33,18 +54,8 @@ fn main() {
             "J per inference".into(),
         ],
     );
-    for b in Baseline::ALL {
+    for (&b, report) in Baseline::ALL.iter().zip(&reports) {
         let outcome = result.outcome(b);
-        let mut app = MarApp::new(&spec);
-        app.place_all_objects();
-        app.set_allocation(&outcome.allocation);
-        if b == Baseline::Sml {
-            app.set_uniform_ratio(outcome.x);
-        } else {
-            app.set_triangle_ratio(outcome.x);
-        }
-        app.run_for_secs(SPAN_SECS);
-        let report = app.energy_report(&power);
         let per = |name: &str| {
             report
                 .per_processor_j
@@ -72,4 +83,5 @@ fn main() {
          (BNT, AllN) while its allocation keeps the NPU — the most efficient\n\
          engine — loaded with the tasks it serves best."
     );
+    harness::emit_runner_report(&runner_report);
 }

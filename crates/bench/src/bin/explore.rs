@@ -4,19 +4,29 @@
 //! ```text
 //! explore [SCENARIO] [--seed N] [--weight W] [--iterations K] [--initial M]
 //!         [--device pixel7|s22] [--distance D] [--baselines]
+//!         [--replicates R] [--threads T]
 //!
 //! SCENARIO: SC1-CF1 (default) | SC2-CF1 | SC1-CF2 | SC2-CF2
 //! ```
+//!
+//! With `--replicates R` (R > 1) the activation is repeated R times as a
+//! sweep on the deterministic parallel runner: each replicate's PRNG
+//! stream is derived from `(--seed, replicate index)`, so the sweep is
+//! bit-identical for any `--threads` setting, and the merged best-cost /
+//! convergence statistics are printed alongside the per-replicate bests.
 //!
 //! Examples:
 //!
 //! ```text
 //! cargo run --release -p hbo-bench --bin explore -- SC2-CF1 --seed 7
 //! cargo run --release -p hbo-bench --bin explore -- SC1-CF1 --weight 5 --baselines
+//! cargo run --release -p hbo-bench --bin explore -- SC2-CF2 --replicates 8 --threads 4
 //! ```
 
+use hbo_bench::harness;
 use hbo_core::{Baseline, HboConfig};
 use marsim::experiment::{compare_baselines, run_hbo};
+use marsim::runner::{self, SweepJob};
 use marsim::ScenarioSpec;
 
 struct Args {
@@ -28,6 +38,8 @@ struct Args {
     device: String,
     distance: Option<f64>,
     baselines: bool,
+    replicates: usize,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         device: "pixel7".to_owned(),
         distance: None,
         baselines: false,
+        replicates: 1,
+        threads: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -74,6 +88,21 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--baselines" => args.baselines = true,
+            "--replicates" => {
+                args.replicates = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("replicates: {e}"))?;
+                if args.replicates == 0 {
+                    return Err("replicates must be >= 1".to_owned());
+                }
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("threads: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err("help".to_owned()),
             other if !other.starts_with('-') => args.scenario = other.to_owned(),
             other => return Err(format!("unknown flag {other}")),
@@ -87,9 +116,26 @@ fn usage() -> ! {
     eprintln!(
         "usage: explore [SC1-CF1|SC2-CF1|SC1-CF2|SC2-CF2] [--seed N] [--weight W]\n\
          \x20              [--iterations K] [--initial M] [--device pixel7|s22]\n\
-         \x20              [--distance D] [--baselines]"
+         \x20              [--distance D] [--baselines] [--replicates R] [--threads T]"
     );
     std::process::exit(2);
+}
+
+fn print_best(run: &marsim::experiment::HboRunResult) {
+    println!(
+        "best: x={:.2} alloc={} Q={:.3} eps={:.3} cost={:+.3} (converged at iter {})",
+        run.best.point.x,
+        run.best
+            .point
+            .allocation
+            .iter()
+            .map(|d| d.letter())
+            .collect::<String>(),
+        run.best.quality,
+        run.best.epsilon,
+        run.best.cost,
+        run.iterations_to_converge()
+    );
 }
 
 fn main() {
@@ -156,6 +202,32 @@ fn main() {
                 o.allocation.iter().map(|d| d.letter()).collect::<String>()
             );
         }
+    } else if args.replicates > 1 {
+        // Replicate sweep: seeds derived from (--seed, replicate index) on
+        // the runner, so the merged statistics are bit-identical for any
+        // --threads setting.
+        let threads = args.threads.unwrap_or_else(runner::threads_from_env);
+        let jobs: Vec<SweepJob> = (0..args.replicates)
+            .map(|r| SweepJob::derived(format!("rep{}", r + 1), spec.clone(), config.clone()))
+            .collect();
+        let sweep = runner::run_sweep("explore", jobs, args.seed, threads);
+        for o in &sweep.outcomes {
+            print!("{} (seed {:>20}) ", o.label, o.seed);
+            print_best(&o.run);
+        }
+        println!("\nmerged statistics over {} replicates:", args.replicates);
+        for m in &sweep.report.metrics {
+            println!(
+                "  {:<18} mean={:+.3}  std={:.3}  min={:+.3}  max={:+.3}  (n={})",
+                m.name,
+                m.stats.mean(),
+                m.stats.std_dev(),
+                m.stats.min().unwrap_or(f64::NAN),
+                m.stats.max().unwrap_or(f64::NAN),
+                m.stats.count()
+            );
+        }
+        harness::emit_runner_report(&sweep.report);
     } else {
         let run = run_hbo(&spec, &config, args.seed);
         for (i, r) in run.records.iter().enumerate() {
@@ -173,19 +245,7 @@ fn main() {
                 r.cost
             );
         }
-        println!(
-            "\nbest: x={:.2} alloc={} Q={:.3} eps={:.3} cost={:+.3} (converged at iter {})",
-            run.best.point.x,
-            run.best
-                .point
-                .allocation
-                .iter()
-                .map(|d| d.letter())
-                .collect::<String>(),
-            run.best.quality,
-            run.best.epsilon,
-            run.best.cost,
-            run.iterations_to_converge()
-        );
+        println!();
+        print_best(&run);
     }
 }

@@ -6,16 +6,25 @@
 //! random configurations, then 15 BO iterations; HBO activates after all
 //! objects are placed with all AI tasks running.
 
-use hbo_bench::{seeds, Series, Table};
+use hbo_bench::{harness, seeds, Series, Table};
 use hbo_core::HboConfig;
-use marsim::experiment::run_hbo;
+use marsim::runner::{self, SweepJob};
 use marsim::ScenarioSpec;
 
 fn main() {
     let config = HboConfig::default();
+    let threads = runner::threads_from_args();
+    // The four scenarios as a flat parallel job list, each pinned to the
+    // historic figure seed so the published numbers stay bit-identical.
+    let jobs: Vec<SweepJob> = ScenarioSpec::all_four()
+        .into_iter()
+        .map(|spec| SweepJob::seeded(spec.name.clone(), spec, config.clone(), seeds::FIG4))
+        .collect();
+    let sweep = runner::run_sweep("fig4_table3", jobs, seeds::FIG4, threads);
     let runs: Vec<_> = ScenarioSpec::all_four()
         .into_iter()
-        .map(|spec| (spec.clone(), run_hbo(&spec, &config, seeds::FIG4)))
+        .zip(&sweep.outcomes)
+        .map(|(spec, o)| (spec, o.run.clone()))
         .collect();
 
     // Fig. 4a — allocation proportions chosen per scenario.
@@ -123,4 +132,5 @@ fn main() {
             .sum::<f64>()
             / runs.len() as f64
     );
+    harness::emit_runner_report(&sweep.report);
 }

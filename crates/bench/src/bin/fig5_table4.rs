@@ -6,10 +6,14 @@
 //! SML at matched latency; HBO is ~2.2× / ~3.5× faster than BNT / AllN
 //! while giving up only ~13 % quality.
 
-use hbo_bench::{seeds, Table};
+//! The tail-latency extension re-measures all five baselines over a 20 s
+//! window; those five measurements run concurrently on the deterministic
+//! parallel runner (`--threads N` / `HBO_THREADS`).
+
+use hbo_bench::{harness, seeds, Table};
 use hbo_core::{Baseline, HboConfig};
 use marsim::experiment::compare_baselines;
-use marsim::{MarApp, ScenarioSpec};
+use marsim::{runner, MarApp, ScenarioSpec};
 
 fn main() {
     let spec = ScenarioSpec::sc1_cf1();
@@ -77,12 +81,10 @@ fn main() {
     println!("{}", t.render());
 
     // Tail latency (not in the paper, but what a MAR user feels): p95 per
-    // system, re-measured over a longer window.
-    let mut t = Table::new(
-        "Extension — tail latency over a 20 s window (p95 ms, mean across tasks)",
-        vec!["system".into(), "p50".into(), "p95".into(), "p99".into()],
-    );
-    for b in Baseline::ALL {
+    // system, re-measured over a longer window. The five baseline
+    // re-measurements are independent simulations — run them in parallel.
+    let threads = runner::threads_from_args();
+    let (tails, report) = runner::run_map("fig5_table4", threads, &Baseline::ALL, |_, &b| {
         let o = result.outcome(b);
         let mut app = MarApp::new(&spec);
         app.place_all_objects();
@@ -98,11 +100,18 @@ fn main() {
             let vals: Vec<f64> = v.into_iter().flatten().collect();
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
         };
+        [mean_pct(0.5), mean_pct(0.95), mean_pct(0.99)]
+    });
+    let mut t = Table::new(
+        "Extension — tail latency over a 20 s window (p95 ms, mean across tasks)",
+        vec!["system".into(), "p50".into(), "p95".into(), "p99".into()],
+    );
+    for (b, tail) in Baseline::ALL.iter().zip(&tails) {
         t.row(vec![
             b.label().to_owned(),
-            format!("{:.1}", mean_pct(0.5)),
-            format!("{:.1}", mean_pct(0.95)),
-            format!("{:.1}", mean_pct(0.99)),
+            format!("{:.1}", tail[0]),
+            format!("{:.1}", tail[1]),
+            format!("{:.1}", tail[2]),
         ]);
     }
     println!("{}", t.render());
@@ -141,4 +150,5 @@ fn main() {
         "HBO quality sacrificed vs full quality:  paper ~13%  -> measured {:.1}%",
         100.0 * (1.0 - hbo.measurement.quality)
     );
+    harness::emit_runner_report(&report);
 }

@@ -7,10 +7,10 @@
 //! * **(c)** average quality and normalized latency per iteration,
 //! * **(d)** per-model latency of HBO's final configuration vs SMQ's.
 
-use hbo_bench::{seeds, Series, Table};
+use hbo_bench::{harness, seeds, Series, Table};
 use hbo_core::{static_best_allocation, HboConfig};
 use marsim::experiment::{run_hbo, CONTROL_PERIOD_SECS};
-use marsim::{MarApp, ScenarioSpec};
+use marsim::{runner, MarApp, ScenarioSpec};
 
 fn main() {
     let spec = ScenarioSpec::sc1_cf1();
@@ -72,18 +72,25 @@ fn main() {
         run.best.quality, run.best.epsilon
     );
 
-    // (d) per-model latency, HBO vs SMQ at HBO's triangle ratio.
-    let measure = |allocation: &[nnmodel::Delegate]| {
-        let mut app = MarApp::new(&spec);
-        app.place_all_objects();
-        app.set_allocation(allocation);
-        app.set_triangle_ratio(run.best.point.x);
-        app.run_for_secs(1.0);
-        app.measure_for_secs(2.0 * CONTROL_PERIOD_SECS)
-    };
-    let hbo_m = measure(&run.best.point.allocation);
+    // (d) per-model latency, HBO vs SMQ at HBO's triangle ratio. The two
+    // measurement sessions are independent: run them on the parallel
+    // runner (`--threads N` / `HBO_THREADS`).
     let static_alloc = static_best_allocation(&spec.profiles());
-    let smq_m = measure(&static_alloc);
+    let allocations = [run.best.point.allocation.clone(), static_alloc.clone()];
+    let (measurements, report) = runner::run_map(
+        "fig6",
+        runner::threads_from_args(),
+        &allocations,
+        |_, allocation| {
+            let mut app = MarApp::new(&spec);
+            app.place_all_objects();
+            app.set_allocation(allocation);
+            app.set_triangle_ratio(run.best.point.x);
+            app.run_for_secs(1.0);
+            app.measure_for_secs(2.0 * CONTROL_PERIOD_SECS)
+        },
+    );
+    let (hbo_m, smq_m) = (&measurements[0], &measurements[1]);
 
     let mut t = Table::new(
         format!(
@@ -117,4 +124,5 @@ fn main() {
          NNAPI residents by 103% (best case, mobilenet classification) and 23.8%\n\
          (worst case, mobilenet detection)."
     );
+    harness::emit_runner_report(&report);
 }

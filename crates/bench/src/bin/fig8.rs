@@ -8,9 +8,13 @@
 //! placements that actually hurt performance (the heavy late objects), and
 //! for the distance change — while the periodic policy fires on a timer
 //! regardless of need.
+//!
+//! The two policy studies run concurrently on the deterministic parallel
+//! runner (`--threads N` / `HBO_THREADS`).
 
-use hbo_bench::seeds;
+use hbo_bench::{harness, seeds};
 use hbo_core::HboConfig;
+use marsim::runner;
 use marsim::timeline::{run_activation_study, ActivationTrace, PolicyKind};
 use marsim::ScenarioSpec;
 
@@ -108,33 +112,37 @@ fn main() {
     let distance_change = [(320.0, 3.0)];
     let total = 400.0;
 
-    let event = run_activation_study(
-        &spec,
-        &config,
-        PolicyKind::EventBased,
-        &placements,
-        &distance_change,
-        total,
-        seeds::FIG8,
-    );
-    print_trace("Fig. 8a — event-based activation (ours)", &event, total);
-
-    let periodic = run_activation_study(
-        &spec,
-        &config,
-        PolicyKind::Periodic {
-            interval_secs: 50.0,
-        },
-        &placements,
-        &distance_change,
-        total,
-        seeds::FIG8,
-    );
-    print_trace(
-        "Fig. 8b — periodic activation (every 50 s)",
-        &periodic,
-        total,
-    );
+    // Both policy studies share the same scripted timeline and seed, so
+    // they are independent jobs: run them concurrently on the runner and
+    // print in figure order afterwards.
+    let threads = runner::threads_from_args();
+    let policies = [
+        (
+            "Fig. 8a — event-based activation (ours)",
+            PolicyKind::EventBased,
+        ),
+        (
+            "Fig. 8b — periodic activation (every 50 s)",
+            PolicyKind::Periodic {
+                interval_secs: 50.0,
+            },
+        ),
+    ];
+    let (traces, report) = runner::run_map("fig8", threads, &policies, |_, (_, policy)| {
+        run_activation_study(
+            &spec,
+            &config,
+            *policy,
+            &placements,
+            &distance_change,
+            total,
+            seeds::FIG8,
+        )
+    });
+    for ((title, _), trace) in policies.iter().zip(&traces) {
+        print_trace(title, trace, total);
+    }
+    let (event, periodic) = (&traces[0], &traces[1]);
 
     println!(
         "Paper check: the event policy activates only a handful of times (first\n\
@@ -144,4 +152,5 @@ fn main() {
         event.activations.len(),
         periodic.activations.len()
     );
+    harness::emit_runner_report(&report);
 }

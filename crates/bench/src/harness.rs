@@ -21,6 +21,20 @@
 
 use std::time::Instant;
 
+use marsim::RunnerReport;
+
+/// Emits a [`RunnerReport`] as one JSON line on stdout — the same
+/// JSON-lines contract as the bench output above, so runner-backed
+/// experiment binaries report wall time, job counts, and merged metrics
+/// in a machine-diffable form:
+///
+/// ```text
+/// {"runner":"fig7","jobs":12,"threads":4,"wall_secs":3.141593,"metrics":{...}}
+/// ```
+pub fn emit_runner_report(report: &RunnerReport) {
+    println!("{}", report.to_json());
+}
+
 /// Number of timed samples per benchmark (median reported).
 const DEFAULT_SAMPLES: u32 = 15;
 /// Warmup iterations before sampling.

@@ -36,12 +36,16 @@ pub fn round_proportions(c: &[f64], m: usize) -> Vec<usize> {
     // Guard against floating rounding pushing the floor sum past m.
     let mut assigned: usize = counts.iter().sum();
     while assigned > m {
-        let i = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &v)| v)
-            .map(|(i, _)| i)
-            .expect("non-empty counts");
+        // Decrement the largest count, breaking ties by lowest index —
+        // the same by-index tie-break the remainder distribution below
+        // uses. (`max_by_key` returns the *last* maximum, which silently
+        // inverted the tie-break here.)
+        let mut i = 0;
+        for (j, &v) in counts.iter().enumerate() {
+            if v > counts[i] {
+                i = j;
+            }
+        }
         counts[i] -= 1;
         assigned -= 1;
     }
@@ -166,6 +170,65 @@ mod tests {
             let counts = round_proportions(&c, m);
             assert_eq!(counts.iter().sum::<usize>(), m, "c = {c:?}");
         }
+    }
+
+    #[test]
+    fn overshoot_decrement_breaks_ties_by_lowest_index() {
+        // Regression: `c` need not sum to 1, so the floors can overshoot
+        // `m` ([3, 3] here). The guard must decrement the *lowest* index
+        // among tied maxima; `max_by_key` picked the last one, yielding
+        // [2, 1] instead of [1, 2].
+        assert_eq!(round_proportions(&[1.0, 1.0], 3), vec![1, 2]);
+        assert_eq!(round_proportions(&[2.0, 2.0, 2.0], 4), vec![1, 1, 2]);
+    }
+
+    /// Reference model of lines 2–12 with the tie-breaks written out
+    /// longhand, used to pin `round_proportions` under random inputs.
+    fn round_proportions_reference(c: &[f64], m: usize) -> Vec<usize> {
+        let mut counts: Vec<usize> = c.iter().map(|&v| (v * m as f64).floor() as usize).collect();
+        let mut assigned: usize = counts.iter().sum();
+        while assigned > m {
+            let mut i = 0;
+            for j in 1..counts.len() {
+                // Strict '>' keeps the first (lowest-index) maximum.
+                if counts[j] > counts[i] {
+                    i = j;
+                }
+            }
+            counts[i] -= 1;
+            assigned -= 1;
+        }
+        let mut order: Vec<usize> = (0..c.len()).collect();
+        order.sort_by(|&i, &j| c[j].total_cmp(&c[i]).then(i.cmp(&j)));
+        let mut remaining = m - assigned;
+        while remaining > 0 {
+            for &i in &order {
+                if remaining == 0 {
+                    break;
+                }
+                counts[i] += 1;
+                remaining -= 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn rounding_matches_reference_model() {
+        // Property: on arbitrary non-negative usages (sums above 1
+        // included, which is what makes the overshoot guard reachable),
+        // the implementation matches the longhand reference, including
+        // both by-index tie-breaks.
+        check::check(
+            "rounding_matches_reference_model",
+            (cvec(f64s(0.0..2.0), 1..6), usizes(1..16)),
+            |(c, m)| {
+                let counts = round_proportions(c, *m);
+                prop_assert_eq!(&counts, &round_proportions_reference(c, *m));
+                prop_assert_eq!(counts.iter().sum::<usize>(), *m);
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   (Figs. 4–7, Tables III–IV).
 //! * [`timeline`] — scripted event sequences (Fig. 2's motivation study,
 //!   Fig. 8's activation study).
+//! * [`runner`] — the deterministic parallel experiment runner: flat
+//!   scenario × config × replicate job lists on `simcore::pool` workers,
+//!   with per-job seed streams and order-independent metric merging, so
+//!   `--threads N` is bit-identical to `--threads 1`.
 //! * [`userstudy`] — the simulated 7-participant panel of Fig. 9.
 //!
 //! # Example
@@ -36,6 +40,7 @@ mod app;
 pub mod experiment;
 pub mod isolated;
 pub mod load;
+pub mod runner;
 mod scenario;
 pub mod synth;
 pub mod timeline;
@@ -43,4 +48,5 @@ pub mod userstudy;
 
 pub use app::{task_period_ms, MarApp, Measurement, TASK_JITTER_MS, TASK_PERIOD_MS};
 pub use experiment::{BaselineOutcome, ExperimentResult, HboRunResult};
+pub use runner::{RunnerReport, SweepJob, SweepOutcome, SweepResult};
 pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};

@@ -1,0 +1,381 @@
+//! Deterministic parallel experiment execution.
+//!
+//! Every evaluation binary sweeps some cross product of scenario ×
+//! configuration × replicate. This module turns such sweeps into a flat
+//! job list executed on [`simcore::pool`] worker threads, with three
+//! guarantees:
+//!
+//! 1. **Seed isolation** — each job's RNG stream is derived from
+//!    `(master_seed, job_index)` through the splitmix64-based
+//!    [`simcore::rng::mix`], so no job's draws depend on which worker ran
+//!    it or on how many jobs surround it.
+//! 2. **Order-independent merging** — per-job statistics are
+//!    [`Running`] accumulators combined with the parallel-Welford
+//!    [`Running::merge`] in job-index order after all workers finish, so
+//!    the merged numbers do not depend on completion order.
+//! 3. **Serial ≡ parallel** — (1) + (2) plus the order-preserving
+//!    [`simcore::pool::map`] make a `--threads N` run bit-identical to
+//!    `--threads 1` for any `N`.
+//!
+//! The thread count comes from `--threads N` on the command line, the
+//! `HBO_THREADS` environment variable, or the machine's available
+//! parallelism, in that order ([`threads_from_args`]).
+//!
+//! Each binary reports its sweep as one JSON line (a [`RunnerReport`],
+//! emitted through `hbo_bench::harness`) so wall time and merged metrics
+//! are machine-diffable across PRs.
+
+use std::time::Instant;
+
+use hbo_core::HboConfig;
+use simcore::pool;
+use simcore::stats::Running;
+
+use crate::experiment::{run_hbo, HboRunResult};
+use crate::scenario::ScenarioSpec;
+
+/// Derives the independent seed for job `job_index` of a sweep rooted at
+/// `master_seed` (splitmix64 mixing via [`simcore::rng::mix`]).
+pub fn job_seed(master_seed: u64, job_index: u64) -> u64 {
+    simcore::rng::mix(master_seed, job_index)
+}
+
+/// Thread count from the `HBO_THREADS` environment variable, falling back
+/// to the machine's available parallelism. Invalid or zero values fall
+/// back too.
+pub fn threads_from_env() -> usize {
+    std::env::var("HBO_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(pool::available_threads)
+}
+
+/// Thread count for an experiment binary: `--threads N` from the command
+/// line when present, otherwise [`threads_from_env`].
+pub fn threads_from_args() -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(threads_from_env)
+}
+
+/// One job of an HBO activation sweep.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Display label (scenario, variant, replicate…).
+    pub label: String,
+    /// The scenario to run.
+    pub scenario: ScenarioSpec,
+    /// The controller configuration.
+    pub config: HboConfig,
+    /// Explicit seed, or `None` to derive one from
+    /// `(master_seed, job_index)` via [`job_seed`].
+    pub seed: Option<u64>,
+}
+
+impl SweepJob {
+    /// A job whose seed derives from its position in the job list.
+    pub fn derived(label: impl Into<String>, scenario: ScenarioSpec, config: HboConfig) -> Self {
+        SweepJob {
+            label: label.into(),
+            scenario,
+            config,
+            seed: None,
+        }
+    }
+
+    /// A job pinned to an explicit seed (paper-reproduction binaries pin
+    /// their historic figure seeds).
+    pub fn seeded(
+        label: impl Into<String>,
+        scenario: ScenarioSpec,
+        config: HboConfig,
+        seed: u64,
+    ) -> Self {
+        SweepJob {
+            label: label.into(),
+            scenario,
+            config,
+            seed: Some(seed),
+        }
+    }
+}
+
+/// The outcome of one [`SweepJob`].
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Index into the job list (stable across thread counts).
+    pub job_index: usize,
+    /// The job's label.
+    pub label: String,
+    /// The seed the job actually ran with.
+    pub seed: u64,
+    /// The full activation result.
+    pub run: HboRunResult,
+}
+
+/// A merged metric: a name plus its [`Running`] accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSummary {
+    /// Metric name, e.g. `"best_cost"`.
+    pub name: String,
+    /// Merged statistics across jobs.
+    pub stats: Running,
+}
+
+/// The machine-readable summary of one runner-backed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerReport {
+    /// Sweep label (usually the binary name).
+    pub label: String,
+    /// Wall-clock time of the whole sweep, in seconds.
+    pub wall_secs: f64,
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Merged per-metric statistics, in a fixed order.
+    pub metrics: Vec<MetricSummary>,
+}
+
+impl RunnerReport {
+    /// Renders the report as one JSON line in the same hand-rolled style
+    /// as `hbo_bench::harness` (no serialization crate; hermetic build).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"runner\":\"{}\",\"jobs\":{},\"threads\":{},\"wall_secs\":{:.6},\"metrics\":{{",
+            self.label, self.jobs, self.threads, self.wall_secs
+        );
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean\":{:.6},\"std_dev\":{:.6},\"min\":{:.6},\"max\":{:.6}}}",
+                m.name,
+                m.stats.count(),
+                m.stats.mean(),
+                m.stats.std_dev(),
+                m.stats.min().unwrap_or(0.0),
+                m.stats.max().unwrap_or(0.0),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The result of [`run_sweep`]: per-job outcomes in job order plus the
+/// merged report.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One outcome per job, in job-index order.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Merged statistics and timing.
+    pub report: RunnerReport,
+}
+
+impl SweepResult {
+    /// The outcomes whose label matches `label`, in job order.
+    pub fn labeled<'a>(&'a self, label: &str) -> Vec<&'a SweepOutcome> {
+        self.outcomes.iter().filter(|o| o.label == label).collect()
+    }
+}
+
+/// Runs a flat HBO-activation job list on `threads` workers.
+///
+/// Per-job iteration statistics (cost, quality, normalized latency) are
+/// accumulated into independent [`Running`]s inside each job and merged
+/// with [`Running::merge`] in job-index order afterwards; per-job scalars
+/// (best cost, iterations-to-converge) are recorded in the same order.
+/// Both are therefore independent of scheduling, and the whole sweep is
+/// bit-identical for every thread count.
+pub fn run_sweep(
+    label: impl Into<String>,
+    jobs: Vec<SweepJob>,
+    master_seed: u64,
+    threads: usize,
+) -> SweepResult {
+    let start = Instant::now();
+    let outcomes: Vec<SweepOutcome> = pool::map(threads, &jobs, |i, job| {
+        let seed = job.seed.unwrap_or_else(|| job_seed(master_seed, i as u64));
+        SweepOutcome {
+            job_index: i,
+            label: job.label.clone(),
+            seed,
+            run: run_hbo(&job.scenario, &job.config, seed),
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    // Per-job accumulators, merged in index order (parallel Welford).
+    let mut iter_cost = Running::new();
+    let mut iter_quality = Running::new();
+    let mut iter_epsilon = Running::new();
+    let mut best_cost = Running::new();
+    let mut iters_to_converge = Running::new();
+    for o in &outcomes {
+        let mut job_cost = Running::new();
+        let mut job_quality = Running::new();
+        let mut job_epsilon = Running::new();
+        for r in &o.run.records {
+            job_cost.record(r.cost);
+            job_quality.record(r.quality);
+            job_epsilon.record(r.epsilon);
+        }
+        iter_cost.merge(&job_cost);
+        iter_quality.merge(&job_quality);
+        iter_epsilon.merge(&job_epsilon);
+        best_cost.record(o.run.best.cost);
+        iters_to_converge.record(o.run.iterations_to_converge() as f64);
+    }
+    let metric = |name: &str, stats: Running| MetricSummary {
+        name: name.to_owned(),
+        stats,
+    };
+    let report = RunnerReport {
+        label: label.into(),
+        wall_secs,
+        jobs: outcomes.len(),
+        threads,
+        metrics: vec![
+            metric("best_cost", best_cost),
+            metric("iters_to_converge", iters_to_converge),
+            metric("iter_cost", iter_cost),
+            metric("iter_quality", iter_quality),
+            metric("iter_epsilon", iter_epsilon),
+        ],
+    };
+    SweepResult { outcomes, report }
+}
+
+/// Runs an arbitrary deterministic job list on `threads` workers and
+/// times it — the generic entry point for sweeps that are not HBO
+/// activations (scripted timelines, fixed-configuration measurements…).
+///
+/// `f` must be a pure function of `(index, item)` for the serial ≡
+/// parallel guarantee to hold; results come back in input order.
+pub fn run_map<T, R, F>(
+    label: impl Into<String>,
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<R>, RunnerReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = Instant::now();
+    let results = pool::map(threads, items, f);
+    let report = RunnerReport {
+        label: label.into(),
+        wall_secs: start.elapsed().as_secs_f64(),
+        jobs: results.len(),
+        threads,
+        metrics: Vec::new(),
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::check::{self, u64s};
+    use simcore::prop_assert;
+    use simcore::rand::{Rng, SeedableRng, StdRng};
+
+    fn quick_config() -> HboConfig {
+        HboConfig {
+            n_initial: 2,
+            iterations: 2,
+            ..HboConfig::default()
+        }
+    }
+
+    fn demo_jobs() -> Vec<SweepJob> {
+        let config = quick_config();
+        let mut jobs = Vec::new();
+        for spec in [ScenarioSpec::sc2_cf2(), ScenarioSpec::sc2_cf1()] {
+            for replicate in 0..2 {
+                jobs.push(SweepJob::derived(
+                    format!("{}/r{replicate}", spec.name),
+                    spec.clone(),
+                    config.clone(),
+                ));
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn four_thread_sweep_is_bit_identical_to_one_thread() {
+        let serial = run_sweep("det", demo_jobs(), 42, 1);
+        let parallel = run_sweep("det", demo_jobs(), 42, 4);
+        assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+        for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(a.job_index, b.job_index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.run.best.point, b.run.best.point);
+            assert_eq!(a.run.best.cost, b.run.best.cost);
+            assert_eq!(a.run.best_cost_trace, b.run.best_cost_trace);
+        }
+        // Merged metrics are bit-identical `Running`s, not just close.
+        assert_eq!(serial.report.metrics, parallel.report.metrics);
+    }
+
+    #[test]
+    fn explicit_seeds_override_derivation() {
+        let mut jobs = demo_jobs();
+        jobs[1].seed = Some(777);
+        let result = run_sweep("seeded", jobs, 9, 2);
+        assert_eq!(result.outcomes[0].seed, job_seed(9, 0));
+        assert_eq!(result.outcomes[1].seed, 777);
+    }
+
+    #[test]
+    fn job_seed_streams_have_distinct_first_draws() {
+        // Property: for any master seed, the 256 first job streams all
+        // draw distinct first values — no pair of jobs shares a stream.
+        check::check("job_seed_streams_distinct", u64s(..), |&master| {
+            let mut seen = std::collections::HashSet::new();
+            for job_index in 0..256u64 {
+                let first: u64 = StdRng::seed_from_u64(job_seed(master, job_index)).gen();
+                prop_assert!(
+                    seen.insert(first),
+                    "jobs of master seed {master} collide at index {job_index}"
+                );
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn run_map_keeps_input_order_and_counts_jobs() {
+        let items: Vec<u64> = (0..17).collect();
+        let (out, report) = run_map("map", 4, &items, |i, &x| x + i as u64);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert_eq!(report.jobs, 17);
+        assert_eq!(report.threads, 4);
+    }
+
+    #[test]
+    fn report_renders_one_json_line() {
+        let result = run_sweep("json", demo_jobs(), 1, 2);
+        let line = result.report.to_json();
+        assert!(line.starts_with("{\"runner\":\"json\",\"jobs\":4,\"threads\":2,"));
+        assert!(line.contains("\"best_cost\":{\"count\":4,"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn labeled_filters_outcomes() {
+        let result = run_sweep("lbl", demo_jobs(), 5, 2);
+        assert_eq!(result.labeled("SC2-CF2/r0").len(), 1);
+        assert_eq!(result.labeled("nope").len(), 0);
+    }
+}

@@ -79,10 +79,16 @@ pub struct ContentionTrace {
 
 /// Runs a Fig. 2-style script on a bare simulated SoC.
 ///
+/// Each event is applied at its exact `at_secs` (the sim runs up to that
+/// instant first); the latency trace is sampled every `sample_secs`, with
+/// the final window clamped to `total_secs` when the horizon is not a
+/// multiple of the sample period. Events scheduled at or beyond
+/// `total_secs` never fire.
+///
 /// # Panics
 ///
 /// Panics if the script references unknown models, out-of-range task
-/// indices, incompatible delegates, or out-of-order event times.
+/// indices, or incompatible delegates.
 pub fn run_script(
     device: &DeviceProfile,
     zoo: &ModelZoo,
@@ -127,9 +133,16 @@ pub fn run_script(
 
     let steps = (total_secs / sample_secs).ceil() as usize;
     for step in 1..=steps {
-        let t_end = step as f64 * sample_secs;
-        // Fire due events at the start of the window.
+        // The final window is clamped so the sim never runs past the
+        // requested horizon when it is not a multiple of `sample_secs`.
+        let t_end = (step as f64 * sample_secs).min(total_secs);
+        let window_start = sim.now();
+        // Run the sim to each due event's exact time before applying it;
+        // events scheduled at or beyond `total_secs` never fire.
         while next_event < script.len() && script[next_event].at_secs < t_end {
+            sim.run_until(SimTime::from_secs_f64(
+                script[next_event].at_secs.max(sim.now().as_secs_f64()),
+            ));
             let point = &script[next_event];
             let now_secs = sim.now().as_secs_f64();
             match &point.event {
@@ -193,7 +206,6 @@ pub fn run_script(
             }
             next_event += 1;
         }
-        let window_start = sim.now();
         sim.run_until(SimTime::from_secs_f64(t_end));
         sample_times.push(t_end);
         samples.push(
@@ -517,6 +529,81 @@ mod tests {
         assert!(
             after_move < with_objects,
             "CPU relocation should relieve NNAPI: {with_objects} -> {after_move}"
+        );
+    }
+
+    #[test]
+    fn events_fire_at_their_exact_time_not_the_window_boundary() {
+        // Regression: any event with `at_secs < t_end` used to be applied
+        // at the *previous* window boundary — a mid-window move at t=7.5
+        // was recorded (and took effect) at t=7.0.
+        let (device, zoo) = s22();
+        let script = vec![
+            ScriptPoint {
+                at_secs: 0.0,
+                event: ScriptEvent::StartTask {
+                    model: "deeplabv3".to_owned(),
+                    delegate: Delegate::Nnapi,
+                },
+            },
+            ScriptPoint {
+                at_secs: 7.5,
+                event: ScriptEvent::MoveTask {
+                    task: 0,
+                    delegate: Delegate::Cpu,
+                },
+            },
+            ScriptPoint {
+                at_secs: 8.25,
+                event: ScriptEvent::SetRenderLoad {
+                    visible_tris: 300_000.0,
+                    objects: 4,
+                },
+            },
+        ];
+        let trace = run_script(&device, &zoo, &script, 10.0, 1.0);
+        let changes = &trace.tasks[0].delegate_changes;
+        assert_eq!(changes.len(), 2);
+        assert!(
+            (changes[1].0 - 7.5).abs() < 1e-9,
+            "move applied at {} instead of 7.5",
+            changes[1].0
+        );
+        assert!(
+            (trace.markers[0].0 - 8.25).abs() < 1e-9,
+            "render-load marker at {} instead of 8.25",
+            trace.markers[0].0
+        );
+    }
+
+    #[test]
+    fn non_divisible_horizon_clamps_the_final_window() {
+        // Regression: the ceil-derived grid silently ran the sim to 3.0 s
+        // for a 2.5 s horizon, and events inside the overshoot (t=2.8)
+        // fired even though they lie beyond the requested horizon.
+        let (device, zoo) = s22();
+        let script = vec![
+            ScriptPoint {
+                at_secs: 0.0,
+                event: ScriptEvent::StartTask {
+                    model: "deeplabv3".to_owned(),
+                    delegate: Delegate::Cpu,
+                },
+            },
+            ScriptPoint {
+                at_secs: 2.8,
+                event: ScriptEvent::MoveTask {
+                    task: 0,
+                    delegate: Delegate::Nnapi,
+                },
+            },
+        ];
+        let trace = run_script(&device, &zoo, &script, 2.5, 1.0);
+        assert_eq!(trace.sample_secs, vec![1.0, 2.0, 2.5]);
+        assert_eq!(
+            trace.tasks[0].delegate_changes.len(),
+            1,
+            "event beyond the horizon must not fire"
         );
     }
 

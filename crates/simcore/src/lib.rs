@@ -17,6 +17,9 @@
 //!   random consumer does not perturb existing ones.
 //! * [`check`] — a seeded property-testing mini-framework (case
 //!   generation, shrinking, failure-seed reporting) replacing `proptest`.
+//! * [`pool`] — a dependency-free scoped worker-thread pool whose
+//!   parallel `map` is bit-identical to the serial one, backing the
+//!   deterministic experiment runner in `marsim`.
 //! * [`stats`] — online statistics (Welford mean/variance, time-weighted
 //!   averages, sliding windows, log-bucket histograms) used by the metric
 //!   collectors.
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod pool;
 mod queue;
 pub mod rand;
 pub mod rng;

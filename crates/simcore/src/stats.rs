@@ -194,7 +194,15 @@ impl TimeWeighted {
 
     /// Time-weighted average from the start of tracking until `now`.
     /// Returns the current level if no time has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last recorded change (causality) —
+    /// `SimTime` subtraction saturates to zero, so a stale `now` would
+    /// otherwise silently drop the trailing segment and return a wrong
+    /// average instead of failing loudly like [`TimeWeighted::set`].
     pub fn average(&self, now: SimTime) -> f64 {
+        assert!(now >= self.last_change, "time went backwards");
         let span = (now - self.origin).as_secs_f64();
         if span <= 0.0 {
             return self.level;
@@ -297,6 +305,7 @@ pub struct LogHistogram {
     growth: f64,
     counts: Vec<u64>,
     total: u64,
+    max: f64,
 }
 
 impl LogHistogram {
@@ -318,6 +327,7 @@ impl LogHistogram {
             growth,
             counts: vec![0; buckets + 1], // +1 overflow bucket
             total: 0,
+            max: f64::NEG_INFINITY,
         }
     }
 
@@ -332,6 +342,7 @@ impl LogHistogram {
         };
         self.counts[idx] += 1;
         self.total += 1;
+        self.max = self.max.max(value);
     }
 
     /// Total number of recorded values.
@@ -339,8 +350,18 @@ impl LogHistogram {
         self.total
     }
 
+    /// Largest value ever recorded, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
     /// Approximate quantile `q in [0,1]`: returns the upper edge of the
-    /// bucket containing the q-th value, or `None` when empty.
+    /// bucket containing the q-th value, clamped to the largest value
+    /// actually recorded, or `None` when empty.
+    ///
+    /// The overflow bucket is unbounded, so its "edge" is the recorded
+    /// maximum itself — reporting a synthetic finite edge there would
+    /// understate (or overstate) the tail by an arbitrary factor.
     ///
     /// # Panics
     ///
@@ -355,10 +376,17 @@ impl LogHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(self.base * self.growth.powi(i as i32 + 1));
+                let edge = if i + 1 == self.counts.len() {
+                    // Overflow bucket: no upper edge exists; the running
+                    // max is the only truthful bound.
+                    self.max
+                } else {
+                    self.base * self.growth.powi(i as i32 + 1)
+                };
+                return Some(edge.min(self.max));
             }
         }
-        Some(self.base * self.growth.powi(self.counts.len() as i32))
+        Some(self.max)
     }
 
     /// Iterates over `(bucket_lower_edge, count)` for the regular buckets,
@@ -457,6 +485,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_average_rejects_stale_now() {
+        // Regression: `SimTime::sub` saturates at zero, so querying the
+        // average at a `now` before the last change silently dropped the
+        // trailing segment (returning 4/3 here instead of failing).
+        let mut u = TimeWeighted::new(SimTime::ZERO, 2.0);
+        u.set(SimTime::from_secs_f64(2.0), 0.0);
+        u.average(SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
     fn sliding_window_expires() {
         let mut w = SlidingWindow::new(1.0);
         w.record(SimTime::from_secs_f64(0.0), 10.0);
@@ -486,6 +525,36 @@ mod tests {
         assert!(p50 >= 4.0 && p50 <= 16.0, "p50 = {p50}");
         let p100 = h.quantile(1.0).unwrap();
         assert!(p100 >= 100.0, "p100 = {p100}");
+    }
+
+    #[test]
+    fn histogram_tail_quantile_reports_true_max() {
+        // Regression: values far beyond the last bucket land in the
+        // unbounded overflow bucket, whose "upper edge" used to be
+        // fabricated as base * growth^(buckets+1) = 32 here — understating
+        // the tail by over four orders of magnitude.
+        let mut h = LogHistogram::new(1.0, 2.0, 4);
+        h.record(1.0);
+        h.record(1.0e6);
+        h.record(2.0e6);
+        assert_eq!(h.max(), Some(2.0e6));
+        assert_eq!(h.quantile(1.0), Some(2.0e6));
+        // Any quantile that falls in the overflow bucket is bounded by the
+        // recorded max, never by a synthetic finite edge.
+        let p66 = h.quantile(0.66).unwrap();
+        assert!(p66 > 32.0, "tail quantile understated: {p66}");
+        assert!(p66 <= 2.0e6);
+        // Quantiles inside regular buckets still report bucket edges.
+        assert_eq!(h.quantile(0.01), Some(2.0));
+    }
+
+    #[test]
+    fn histogram_quantile_never_exceeds_recorded_max() {
+        // A single value mid-bucket: the bucket's upper edge (4.0) would
+        // overstate the only sample ever seen.
+        let mut h = LogHistogram::new(1.0, 2.0, 8);
+        h.record(3.0);
+        assert_eq!(h.quantile(1.0), Some(3.0));
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //! point of Table I's per-device affinities: the best delegate for a model
 //! is a property of the phone, not the model.
 //!
+//! The two per-device activations run as a sweep on the deterministic
+//! parallel runner (`--threads N` / `HBO_THREADS`); results print in
+//! scenario order and a `RunnerReport` JSON line closes the output.
+//!
 //! ```text
 //! cargo run --release --example device_comparison
 //! ```
 
 use hbo_core::HboConfig;
 use hbo_suite::prelude::*;
+use marsim::runner::{self, SweepJob};
 use nnmodel::ModelZoo;
 
 fn main() {
@@ -18,7 +23,15 @@ fn main() {
     s22.name = "SC1-CF1 (S22)".to_owned();
     scenarios.push(s22);
 
-    for spec in &scenarios {
+    // Both devices' activations are independent: one sweep, pinned to the
+    // example's historic seed so the printed numbers stay put.
+    let jobs: Vec<SweepJob> = scenarios
+        .iter()
+        .map(|spec| SweepJob::seeded(spec.name.clone(), spec.clone(), HboConfig::default(), 11))
+        .collect();
+    let sweep = runner::run_sweep("device_comparison", jobs, 11, runner::threads_from_args());
+
+    for (spec, outcome) in scenarios.iter().zip(&sweep.outcomes) {
         let zoo = ModelZoo::for_device(&spec.device.name);
         println!("== {} on {} ==", spec.name, spec.device.name);
         println!("static affinities (isolated best delegate per model):");
@@ -28,7 +41,7 @@ fn main() {
             println!("  {:<22} -> {d} ({l:.1} ms isolated)", m.name());
         }
 
-        let run = marsim::experiment::run_hbo(spec, &HboConfig::default(), 11);
+        let run = &outcome.run;
         println!(
             "HBO under load:  x = {:.2}, allocation = {}",
             run.best.point.x,
@@ -49,4 +62,5 @@ fn main() {
          the S22's NNAPI accepts models the Pixel 7's rejects (Table I NA cells),\n\
          and contention shifts the best choice away from the static affinity."
     );
+    println!("{}", sweep.report.to_json());
 }

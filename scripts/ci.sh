@@ -18,4 +18,12 @@ cargo build --release --offline
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+# Smoke-run one runner-backed experiment binary on the parallel path: a
+# tiny 4-replicate sweep on 2 worker threads exercises simcore::pool +
+# marsim::runner end-to-end (seed derivation, ordered collection, merged
+# stats, RunnerReport emission) outside the unit-test harness.
+echo "==> runner smoke: explore --replicates 4 --threads 2"
+cargo run --release --offline -q -p hbo-bench --bin explore -- \
+  SC2-CF2 --iterations 2 --initial 2 --replicates 4 --threads 2
+
 echo "==> OK"
