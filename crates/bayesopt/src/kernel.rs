@@ -49,6 +49,37 @@ impl Kernel {
         }
     }
 
+    /// The same kernel family and signal variance with a new length scale
+    /// — the hyperparameter that type-II MLE grid search varies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn with_length_scale(self, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "invalid length scale: {scale}"
+        );
+        match self {
+            Kernel::Matern12 { signal_var, .. } => Kernel::Matern12 {
+                length_scale: scale,
+                signal_var,
+            },
+            Kernel::Matern32 { signal_var, .. } => Kernel::Matern32 {
+                length_scale: scale,
+                signal_var,
+            },
+            Kernel::Matern52 { signal_var, .. } => Kernel::Matern52 {
+                length_scale: scale,
+                signal_var,
+            },
+            Kernel::Rbf { signal_var, .. } => Kernel::Rbf {
+                length_scale: scale,
+                signal_var,
+            },
+        }
+    }
+
     /// The kernel's length scale.
     pub fn length_scale(&self) -> f64 {
         match *self {
@@ -71,16 +102,34 @@ impl Kernel {
 
     /// Evaluates `k(a, b)`.
     ///
+    /// Every kernel in this family is *stationary*: the covariance depends
+    /// on `a` and `b` only through their Euclidean distance, so `eval` is
+    /// exactly [`Kernel::distance`] followed by
+    /// [`Kernel::eval_from_distance`]. Callers that evaluate several
+    /// kernels (or several hyperparameter settings) over the same point
+    /// set should compute the distances once and reuse them — that is what
+    /// the GP's cached pairwise-distance matrix does.
+    ///
     /// # Panics
     ///
     /// Panics if `a` and `b` have different dimensions.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r = euclidean(a, b);
-        self.eval_dist(r)
+        self.eval_from_distance(Self::distance(a, b))
+    }
+
+    /// The Euclidean distance `‖a − b‖` the stationary family is evaluated
+    /// at — the kernel-independent (and hyperparameter-independent) half
+    /// of [`Kernel::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different dimensions.
+    pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+        euclidean(a, b)
     }
 
     /// Evaluates the kernel as a function of the Euclidean distance `r`.
-    pub fn eval_dist(&self, r: f64) -> f64 {
+    pub fn eval_from_distance(&self, r: f64) -> f64 {
         match *self {
             Kernel::Matern12 {
                 length_scale: l,
@@ -143,7 +192,7 @@ mod tests {
             length_scale: 1.0,
             signal_var: 2.5,
         };
-        assert!((k.eval_dist(0.0) - 2.5).abs() < 1e-12);
+        assert!((k.eval_from_distance(0.0) - 2.5).abs() < 1e-12);
     }
 
     #[test]
@@ -152,18 +201,53 @@ mod tests {
         let r: f64 = 0.7;
         let expected =
             (1.0 + 5.0_f64.sqrt() * r + 5.0 * r * r / 3.0) * (-(5.0_f64.sqrt()) * r).exp();
-        assert!((k.eval_dist(r) - expected).abs() < 1e-12);
+        assert!((k.eval_from_distance(r) - expected).abs() < 1e-12);
         assert_eq!(k.length_scale(), 1.0);
         assert_eq!(k.signal_var(), 1.0);
+    }
+
+    #[test]
+    fn with_length_scale_preserves_family_and_signal() {
+        for k in KERNELS {
+            let k2 = k.with_length_scale(0.25);
+            assert_eq!(k2.length_scale(), 0.25);
+            assert_eq!(k2.signal_var(), k.signal_var());
+            assert_eq!(
+                std::mem::discriminant(&k2),
+                std::mem::discriminant(&k),
+                "family must not change"
+            );
+        }
+        let k = Kernel::Matern52 {
+            length_scale: 1.0,
+            signal_var: 2.5,
+        };
+        assert_eq!(k.with_length_scale(3.0).signal_var(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length scale")]
+    fn with_length_scale_rejects_nonpositive() {
+        Kernel::paper_default().with_length_scale(0.0);
+    }
+
+    #[test]
+    fn eval_splits_into_distance_and_eval_from_distance() {
+        let a = [0.3, 1.2, -0.5];
+        let b = [1.0, 0.1, 0.4];
+        for k in KERNELS {
+            let split = k.eval_from_distance(Kernel::distance(&a, &b));
+            assert_eq!(k.eval(&a, &b).to_bits(), split.to_bits());
+        }
     }
 
     #[test]
     fn smoother_kernels_decay_slower_at_short_range() {
         // Near r = 0 the rough Matérn 1/2 drops fastest.
         let r = 0.1;
-        let v12 = KERNELS[0].eval_dist(r);
-        let v32 = KERNELS[1].eval_dist(r);
-        let v52 = KERNELS[2].eval_dist(r);
+        let v12 = KERNELS[0].eval_from_distance(r);
+        let v32 = KERNELS[1].eval_from_distance(r);
+        let v52 = KERNELS[2].eval_from_distance(r);
         assert!(v12 < v32 && v32 < v52);
     }
 
@@ -175,8 +259,8 @@ mod tests {
             |&(r1, r2)| {
                 let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
                 for k in KERNELS {
-                    let a = k.eval_dist(lo);
-                    let b = k.eval_dist(hi);
+                    let a = k.eval_from_distance(lo);
+                    let b = k.eval_from_distance(hi);
                     prop_assert!(
                         a >= b - 1e-12,
                         "{k:?} not decreasing: k({lo})={a} < k({hi})={b}"

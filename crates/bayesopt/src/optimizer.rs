@@ -24,6 +24,11 @@ pub struct BoConfig {
     pub n_local: usize,
     /// Width of the local perturbations.
     pub local_scale: f64,
+    /// Worker threads for the acquisition-scoring pass (1 = serial). The
+    /// score of a candidate is a pure function of the candidate and the
+    /// fitted surrogate, and [`simcore::pool`] returns results in input
+    /// order, so any thread count produces bit-identical suggestions.
+    pub threads: usize,
 }
 
 impl Default for BoConfig {
@@ -36,17 +41,24 @@ impl Default for BoConfig {
             n_candidates: 1024,
             n_local: 256,
             local_scale: 0.15,
+            threads: 1,
         }
     }
 }
 
 /// Sequential Bayesian optimizer minimizing a black-box cost over a
 /// constrained [`SampleSpace`]. See the crate docs for an example.
+///
+/// The GP surrogate is *persistent*: [`Self::observe`] streams each new
+/// observation into it, and [`Self::suggest`] extends the existing
+/// Cholesky factor by one row in `O(K²)` instead of rebuilding and
+/// refitting the whole model in `O(K³)` per call.
 #[derive(Debug, Clone)]
 pub struct BoOptimizer<S> {
     space: S,
     config: BoConfig,
     observations: Vec<(Vec<f64>, f64)>,
+    surrogate: GaussianProcess,
 }
 
 impl<S: SampleSpace> BoOptimizer<S> {
@@ -64,6 +76,7 @@ impl<S: SampleSpace> BoOptimizer<S> {
             space,
             config,
             observations: Vec::new(),
+            surrogate: GaussianProcess::new(config.kernel, config.noise_var),
         }
     }
 
@@ -112,37 +125,56 @@ impl<S: SampleSpace> BoOptimizer<S> {
         if self.observations.len() < self.config.n_initial {
             return self.space.sample(rng);
         }
-        let mut gp = GaussianProcess::new(self.config.kernel, self.config.noise_var);
-        for (z, cost) in &self.observations {
-            gp.add_observation(z.clone(), *cost);
-        }
-        if gp.fit().is_err() {
+        // Refit the persistent surrogate: a no-op if nothing was observed
+        // since the last suggest, an O(K²) factor extension per new
+        // observation otherwise.
+        if self.surrogate.fit().is_err() {
             return self.space.sample(rng);
         }
-        let f_best = gp.best_observed().expect("non-empty history");
+        let f_best = self.surrogate.best_observed().expect("non-empty history");
         let incumbent = self
             .best()
             .map(|(z, _)| z.to_vec())
             .expect("non-empty history");
 
-        let mut best_candidate: Option<(Vec<f64>, f64)> = None;
+        // Generate every candidate first (consuming the RNG stream exactly
+        // as the interleaved loop used to), then score the whole batch.
         let total = self.config.n_candidates + self.config.n_local;
+        let mut candidates = Vec::with_capacity(total);
         for i in 0..total {
-            let candidate = if i < self.config.n_candidates {
+            candidates.push(if i < self.config.n_candidates {
                 self.space.sample(rng)
             } else {
                 self.space.perturb(&incumbent, self.config.local_scale, rng)
-            };
-            let (mu, var) = gp.predict(&candidate);
-            let score = self.config.acquisition.score(mu, var, f_best);
-            let better = best_candidate
-                .as_ref()
-                .is_none_or(|(_, best_score)| score > *best_score);
-            if better {
-                best_candidate = Some((candidate, score));
+            });
+        }
+        let acquisition = self.config.acquisition;
+        let scores: Vec<f64> = if self.config.threads > 1 {
+            // Each score is a pure function of its candidate and the
+            // (immutable) fitted surrogate, and pool::map returns results
+            // in input order — so the fan-out is order-independent by
+            // construction and bit-identical to the serial pass.
+            let surrogate = &self.surrogate;
+            simcore::pool::map_chunked(self.config.threads, 64, &candidates, |_, z| {
+                let (mu, var) = surrogate.predict(z);
+                acquisition.score(mu, var, f_best)
+            })
+        } else {
+            self.surrogate
+                .predict_batch(&candidates)
+                .into_iter()
+                .map(|(mu, var)| acquisition.score(mu, var, f_best))
+                .collect()
+        };
+        let mut best_idx = 0;
+        for (i, score) in scores.iter().enumerate().skip(1) {
+            // Strictly-greater keeps the first of tied scores, matching
+            // the historical interleaved argmax.
+            if *score > scores[best_idx] {
+                best_idx = i;
             }
         }
-        best_candidate.expect("at least one candidate scored").0
+        candidates.swap_remove(best_idx)
     }
 
     /// Records the measured cost of a point (line 26 of Algorithm 1:
@@ -158,12 +190,20 @@ impl<S: SampleSpace> BoOptimizer<S> {
             self.space.contains(&z, 1e-6),
             "infeasible observation: {z:?}"
         );
+        self.surrogate.add_observation(z.clone(), cost);
         self.observations.push((z, cost));
     }
 
-    /// Clears the history (a fresh activation starts a new dataset `D`).
+    /// The persistent GP surrogate (fitted lazily by [`Self::suggest`]).
+    pub fn surrogate(&self) -> &GaussianProcess {
+        &self.surrogate
+    }
+
+    /// Clears the history (a fresh activation starts a new dataset `D`),
+    /// including the persistent surrogate and its fitted factor.
     pub fn reset(&mut self) {
         self.observations.clear();
+        self.surrogate = GaussianProcess::new(self.config.kernel, self.config.noise_var);
     }
 }
 
@@ -273,6 +313,60 @@ mod tests {
         bo.reset();
         assert!(bo.is_empty());
         assert!(bo.best().is_none());
+    }
+
+    #[test]
+    fn reset_clears_the_persistent_surrogate_and_reenters_random_design() {
+        let space = BoxSpace::new(vec![(0.0, 1.0)]);
+        let mut bo = BoOptimizer::new(space, BoConfig::default());
+        let mut r = rng(3);
+        // Drive past the random-design phase so the surrogate gets fitted.
+        for _ in 0..BoConfig::default().n_initial + 2 {
+            let z = bo.suggest(&mut r);
+            let cost = (z[0] - 0.4).powi(2);
+            bo.observe(z, cost);
+        }
+        // The surrogate is fitted as of the last surrogate-backed suggest
+        // (the trailing observe streams in one not-yet-fitted point).
+        bo.suggest(&mut r);
+        assert!(bo.surrogate().is_fitted());
+        assert_eq!(bo.surrogate().len(), bo.len());
+        bo.reset();
+        assert!(bo.surrogate().is_empty());
+        assert!(!bo.surrogate().is_fitted());
+        // Back in the random-design phase: the next suggestion is a plain
+        // space sample — it consumes exactly the draws sample() would.
+        let mut expected_rng = rng(77);
+        let mut actual_rng = rng(77);
+        let expected = BoxSpace::new(vec![(0.0, 1.0)]).sample(&mut expected_rng);
+        assert_eq!(bo.suggest(&mut actual_rng), expected);
+    }
+
+    #[test]
+    fn pooled_scoring_matches_serial_bitwise() {
+        let run = |threads: usize| {
+            let space = SimplexBoxSpace::new(3, 0.2, 1.0);
+            let mut bo = BoOptimizer::new(
+                space,
+                BoConfig {
+                    threads,
+                    ..BoConfig::default()
+                },
+            );
+            let mut r = rng(21);
+            let mut trace = Vec::new();
+            for _ in 0..12 {
+                let z = bo.suggest(&mut r);
+                let cost = z[1] - z[3];
+                bo.observe(z.clone(), cost);
+                trace.push(z);
+            }
+            trace
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -60,13 +60,40 @@ impl Harness {
         }
     }
 
-    /// Like [`Harness::new`], but honors a substring filter passed on the
-    /// command line (`cargo bench --bench kernels -- gp_fit`). The
-    /// `--bench` flag cargo forwards to the binary is ignored.
+    /// Like [`Harness::new`], but honors command-line options
+    /// (`cargo bench --bench kernels -- gp_fit --samples 3 --warmup 1`):
+    ///
+    /// * the first bare argument is a substring filter on bench names;
+    /// * `--samples N` / `--samples=N` overrides the timed sample count
+    ///   (smoke runs in CI use a tiny N);
+    /// * `--warmup N` / `--warmup=N` overrides the warmup iterations;
+    /// * any other `--flag` (e.g. the `--bench` cargo forwards) is ignored.
     pub fn from_args(group: &str) -> Self {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Self::from_arg_list(group, std::env::args().skip(1))
+    }
+
+    fn from_arg_list(group: &str, args: impl IntoIterator<Item = String>) -> Self {
         let mut h = Harness::new(group);
-        h.filter = filter;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |inline: Option<&str>| -> Option<u32> {
+                inline
+                    .map(str::to_owned)
+                    .or_else(|| args.next())
+                    .and_then(|v| v.parse().ok())
+            };
+            if let Some(v) = arg.strip_prefix("--samples") {
+                if let Some(n) = take(v.strip_prefix('=')) {
+                    h.samples = n.max(1);
+                }
+            } else if let Some(v) = arg.strip_prefix("--warmup") {
+                if let Some(n) = take(v.strip_prefix('=')) {
+                    h.warmup = n;
+                }
+            } else if !arg.starts_with("--") && h.filter.is_none() {
+                h.filter = Some(arg);
+            }
+        }
         h
     }
 
@@ -131,6 +158,26 @@ mod tests {
         h.bench("not_matching", || skipped += 1);
         assert!(ran_selected >= 1, "selected bench must execute");
         assert_eq!(skipped, 0, "filtered-out bench must not execute");
+    }
+
+    fn parse(args: &[&str]) -> Harness {
+        Harness::from_arg_list("g", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn from_arg_list_parses_filter_samples_and_warmup() {
+        let h = parse(&["--bench", "gp_fit", "--samples", "3", "--warmup=1"]);
+        assert_eq!(h.filter.as_deref(), Some("gp_fit"));
+        assert_eq!(h.samples, 3);
+        assert_eq!(h.warmup, 1);
+        // Values of consumed flags must not be mistaken for a filter.
+        let h = parse(&["--samples", "7"]);
+        assert_eq!(h.filter, None);
+        assert_eq!(h.samples, 7);
+        // samples is clamped to at least one; defaults survive garbage.
+        let h = parse(&["--samples=0", "--warmup", "junk"]);
+        assert_eq!(h.samples, 1);
+        assert_eq!(h.warmup, DEFAULT_WARMUP);
     }
 
     #[test]

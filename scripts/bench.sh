@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the kernels bench and records the medians at the repo root as
+# BENCH_kernels.json (JSON lines, one object per bench) — the tracked
+# perf baseline the ISSUE/EXPERIMENTS numbers refer to.
+#
+# Usage:
+#   scripts/bench.sh            # full run (15 samples per bench)
+#   scripts/bench.sh --smoke    # tiny sample counts, for CI smoke checks
+#   scripts/bench.sh gp_fit     # only benches whose name contains gp_fit
+#
+# Extra arguments are forwarded to the bench binary (see
+# hbo_bench::harness::Harness::from_args).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARGS=()
+if [[ "${1:-}" == "--smoke" ]]; then
+  shift
+  ARGS+=(--samples 3 --warmup 1)
+fi
+
+OUT=BENCH_kernels.json
+# Bench prints one JSON line per bench on stdout; keep only those (cargo
+# may interleave its own progress on stderr, which tee would not catch
+# anyway, but a belt-and-suspenders filter keeps the file parseable).
+cargo bench -q --offline -p hbo-bench --bench kernels -- "${ARGS[@]}" "$@" \
+  | grep '^{' > "$OUT"
+
+if [[ ! -s "$OUT" ]]; then
+  echo "error: $OUT is empty — did the bench filter match nothing?" >&2
+  exit 1
+fi
+
+# Validate every line parses as JSON with the fields the tooling reads.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        obj = json.loads(line)
+        for key in ("group", "bench", "median_ns"):
+            if key not in obj:
+                raise SystemExit(f"line {i}: missing key {key!r}")
+print(f"{sys.argv[1]}: {i} benches, all lines parse")
+EOF
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '.group and .bench and (.median_ns | numbers)' < "$OUT" >/dev/null
+  echo "$OUT: $(wc -l < "$OUT") benches, all lines parse"
+else
+  grep -cq '"median_ns":' "$OUT"
+  echo "$OUT: $(wc -l < "$OUT") benches (no JSON validator available)"
+fi
+
+cat "$OUT"

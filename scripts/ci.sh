@@ -26,4 +26,11 @@ echo "==> runner smoke: explore --replicates 4 --threads 2"
 cargo run --release --offline -q -p hbo-bench --bin explore -- \
   SC2-CF2 --iterations 2 --initial 2 --replicates 4 --threads 2
 
+# Bench smoke: a tiny-N run of the kernels bench must still emit a
+# parseable BENCH_kernels.json at the repo root, so the tracked perf
+# baseline can't silently rot when bench fixtures or the harness change.
+echo "==> bench smoke: scripts/bench.sh --smoke"
+scripts/bench.sh --smoke >/dev/null
+test -s BENCH_kernels.json
+
 echo "==> OK"
