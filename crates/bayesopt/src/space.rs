@@ -100,6 +100,12 @@ impl SampleSpace for BoxSpace {
 /// probability simplex (`c`, Constraints 8–9) and one trailing coordinate
 /// is box-bounded (`x`, Constraint 10).
 ///
+/// `simplex_dim` is the number of allocatable resources: 3 for the
+/// paper's on-device space (CPU/GPU/NNAPI), 4 when the edge tier is in
+/// play (`Delegate::Edge` becomes one more simplex coordinate — the share
+/// of tasks offloaded — rather than a separate optimizer; see DESIGN.md
+/// §6).
+///
 /// # Example
 ///
 /// ```
@@ -313,6 +319,23 @@ mod tests {
     #[should_panic(expected = "bad ratio bounds")]
     fn inverted_ratio_bounds_panic() {
         SimplexBoxSpace::new(3, 0.9, 0.2);
+    }
+
+    #[test]
+    fn four_resource_simplex_for_the_edge_tier() {
+        // The edge-extended HBO space: 4 simplex coordinates + ratio.
+        let space = SimplexBoxSpace::new(4, 0.2, 1.0);
+        assert_eq!(space.dim(), 5);
+        assert_eq!(space.simplex_dim(), 4);
+        let mut r = rng(6);
+        for _ in 0..200 {
+            let z = space.sample(&mut r);
+            assert!(space.contains(&z, 1e-9), "{z:?}");
+            let sum: f64 = z[..4].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            let z2 = space.perturb(&z, 0.3, &mut r);
+            assert!(space.contains(&z2, 1e-9), "{z2:?}");
+        }
     }
 
     #[test]

@@ -172,6 +172,27 @@ fn bench_substrates(h: &mut Harness) {
         },
         |mut app| app.run_for_secs(1.0),
     );
+
+    // Wireless link + edge server DES: one simulated second of an
+    // 8-client closed-loop session against a 2-lane server.
+    h.bench_batched(
+        "edgesim_8c_1s",
+        || {
+            let clients: Vec<edgelink::ClientSpec> = (0..8)
+                .map(|i| edgelink::ClientSpec::mar_default(format!("c{i}")))
+                .collect();
+            edgelink::EdgeSim::new(
+                edgelink::LinkParams::wifi(),
+                edgelink::ServerParams::small(),
+                clients,
+                11,
+            )
+        },
+        |mut sim| {
+            sim.run_for_secs(1.0);
+            black_box(sim.server_counters())
+        },
+    );
 }
 
 fn main() {

@@ -1,0 +1,62 @@
+//! Edge-offload sweep: client count × uplink bandwidth, three systems per
+//! cell (local-only, edge-only, HBO-joint with Edge in the decision
+//! space).
+//!
+//! ```text
+//! edge_offload [--smoke] [--seed N] [--threads T]
+//! ```
+//!
+//! Emits one JSON line per `(cell, system)` row plus the runner report.
+//! Cells run on the deterministic parallel runner: each cell's seed
+//! derives from `(--seed, cell index)`, so the row set is bit-identical
+//! for any `--threads` setting and across runs.
+
+use hbo_bench::harness;
+use hbo_core::HboConfig;
+use marsim::edge::sweep_cell;
+use marsim::runner::{self, job_seed};
+use marsim::ScenarioSpec;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let seed: u64 = argv
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2024);
+    let threads = runner::threads_from_args();
+
+    // SC1 is the heavy scene (decimation matters), CF2 keeps the taskset
+    // small enough that every cell runs a full activation quickly.
+    let base = ScenarioSpec::sc1_cf2();
+    let config = if smoke {
+        HboConfig {
+            n_initial: 2,
+            iterations: 3,
+            ..HboConfig::default()
+        }
+    } else {
+        HboConfig::default()
+    };
+    let (client_counts, bandwidths): (Vec<usize>, Vec<f64>) = if smoke {
+        (vec![2], vec![5.0, 50.0])
+    } else {
+        (vec![1, 4, 8], vec![5.0, 25.0, 100.0])
+    };
+
+    let cells: Vec<(usize, f64)> = client_counts
+        .iter()
+        .flat_map(|&n| bandwidths.iter().map(move |&b| (n, b)))
+        .collect();
+    let (rows, report) = runner::run_map("edge_offload", threads, &cells, |i, &(clients, mbps)| {
+        sweep_cell(&base, clients, mbps, &config, job_seed(seed, i as u64))
+    });
+    for cell_rows in &rows {
+        for row in cell_rows {
+            println!("{row}");
+        }
+    }
+    harness::emit_runner_report(&report);
+}

@@ -123,7 +123,16 @@ impl HboController {
         } else {
             (1.0, 1.0)
         };
-        let space = SimplexBoxSpace::new(Delegate::COUNT, x_lo, x_hi);
+        // The search simplex only gains the edge dimension when some task
+        // can actually offload; an on-device-only taskset keeps the
+        // paper's 3-resource space (and its exact RNG stream), so every
+        // seeded on-device result is unchanged by the edge extension.
+        let n_resources = if profiles.iter().any(|p| p.supports(Delegate::Edge)) {
+            Delegate::COUNT
+        } else {
+            Delegate::COUNT - 1
+        };
+        let space = SimplexBoxSpace::new(n_resources, x_lo, x_hi);
         let mut bo_config = config.bo;
         bo_config.n_initial = config.n_initial;
         HboController {
@@ -190,8 +199,12 @@ impl HboController {
             "one delegate per task required"
         );
         let m = allocation.len() as f64;
-        let mut c = vec![0.0; Delegate::COUNT];
+        let mut c = vec![0.0; self.bo.space().simplex_dim()];
         for d in &allocation {
+            assert!(
+                d.index() < c.len(),
+                "incumbent uses {d}, which is outside this controller's space"
+            );
             c[d.index()] += 1.0 / m;
         }
         let mut z = c.clone();
@@ -422,5 +435,32 @@ mod tests {
     #[should_panic(expected = "at least one AI task")]
     fn empty_taskset_panics() {
         HboController::new(vec![], HboConfig::default());
+    }
+
+    #[test]
+    fn edge_capable_taskset_gets_the_fourth_dimension() {
+        // On-device-only profiles keep the paper's 3-simplex (so seeded
+        // results are unchanged); one edge-capable profile grows it to 4.
+        let mut ps = profiles();
+        let hbo = HboController::new(ps.clone(), HboConfig::default());
+        let p = hbo.incumbent_point(vec![Delegate::Cpu; 3], 1.0);
+        assert_eq!(p.c.len(), 3);
+        assert_eq!(p.z.len(), 4);
+
+        ps[0] = ps[0].clone().with_edge(5.0);
+        let mut hbo = HboController::new(ps, HboConfig::default());
+        let p = hbo.incumbent_point(vec![Delegate::Edge, Delegate::Cpu, Delegate::Cpu], 1.0);
+        assert_eq!(p.c.len(), 4);
+        assert!((p.c[Delegate::Edge.index()] - 1.0 / 3.0).abs() < 1e-12);
+        // Suggested points live in the 4+1-D space and allocate edge-aware.
+        let mut rng = simcore::rand::StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let p = hbo.next_point(&mut rng);
+            assert_eq!(p.z.len(), 5);
+            let c_sum: f64 = p.c.iter().sum();
+            assert!((c_sum - 1.0).abs() < 1e-9);
+            let (q, e) = environment(&p);
+            hbo.observe(p, q, e);
+        }
     }
 }

@@ -94,19 +94,29 @@ struct Entry {
 /// fall back to their individually best supported resource — a documented
 /// completion of the paper's pseudocode, which does not specify this case.
 ///
+/// `c` may cover the paper's three on-device resources or all
+/// [`Delegate::COUNT`] including the edge tier; resources beyond `c.len()`
+/// are simply not allocatable (an edge-capable task can still run locally,
+/// never the reverse).
+///
 /// # Panics
 ///
-/// Panics if `c.len() != Delegate::COUNT` or `profiles` is empty.
+/// Panics if `c.len()` is neither `3` (on-device only) nor
+/// [`Delegate::COUNT`], or `profiles` is empty.
 pub fn allocate_tasks(c: &[f64], profiles: &[TaskProfile]) -> Vec<Delegate> {
-    assert_eq!(c.len(), Delegate::COUNT, "one usage per resource");
+    assert!(
+        c.len() == Delegate::COUNT || c.len() == Delegate::COUNT - 1,
+        "one usage per resource"
+    );
     assert!(!profiles.is_empty(), "need at least one task");
     let m = profiles.len();
     let mut quota = round_proportions(c, m);
 
-    // Build the priority queue P of all supported (task, resource) pairs.
+    // Build the priority queue P of all supported (task, resource) pairs
+    // on the resources `c` covers.
     let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
     for (t, p) in profiles.iter().enumerate() {
-        for d in Delegate::ALL {
+        for d in Delegate::ALL.into_iter().take(c.len()) {
             if let Some(l) = p.latency_on(d) {
                 heap.push(Reverse(Entry {
                     latency_key: (l * 1e6) as u64,
@@ -136,11 +146,22 @@ pub fn allocate_tasks(c: &[f64], profiles: &[TaskProfile]) -> Vec<Delegate> {
         }
     }
 
-    // Fallback for tasks stranded by quota/compatibility dead ends.
+    // Fallback for tasks stranded by quota/compatibility dead ends:
+    // each goes to its individually best resource among those `c` covers.
     assignment
         .into_iter()
         .enumerate()
-        .map(|(t, a)| a.unwrap_or_else(|| profiles[t].best().0))
+        .map(|(t, a)| {
+            a.unwrap_or_else(|| {
+                Delegate::ALL
+                    .into_iter()
+                    .take(c.len())
+                    .filter_map(|d| profiles[t].latency_on(d).map(|l| (d, l)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("task supports no allocatable resource")
+                    .0
+            })
+        })
         .collect()
 }
 
@@ -304,6 +325,30 @@ mod tests {
     }
 
     #[test]
+    fn four_resource_c_allocates_to_edge() {
+        let profiles = vec![
+            profile("a", 40.0, 30.0, 10.0).with_edge(5.0),
+            profile("b", 20.0, 15.0, 25.0).with_edge(6.0),
+        ];
+        // All quota on Edge: both tasks offload.
+        let alloc = allocate_tasks(&[0.0, 0.0, 0.0, 1.0], &profiles);
+        assert_eq!(alloc, vec![Delegate::Edge, Delegate::Edge]);
+        // No quota on Edge: nobody offloads even though Edge is fastest.
+        let third = 1.0 / 3.0;
+        let alloc = allocate_tasks(&[third, third, third, 0.0], &profiles);
+        assert!(alloc.iter().all(|&d| d != Delegate::Edge));
+    }
+
+    #[test]
+    fn three_resource_c_never_picks_edge() {
+        // An edge-capable profile under an on-device-only `c` stays local,
+        // including through the drained-queue fallback path.
+        let profiles = vec![TaskProfile::new("x", [Some(10.0), Some(20.0), None]).with_edge(1.0)];
+        let alloc = allocate_tasks(&[0.0, 0.0, 1.0], &profiles);
+        assert_eq!(alloc, vec![Delegate::Cpu]);
+    }
+
+    #[test]
     fn every_task_placed_exactly_once() {
         check::check(
             "every_task_placed_exactly_once",
@@ -327,7 +372,7 @@ mod tests {
                 // (fallback can only fire when quota is unusable, and with
                 // fully-supported tasks it never fires).
                 let counts = round_proportions(&c, profiles.len());
-                for d in Delegate::ALL {
+                for d in Delegate::ALL.into_iter().take(c.len()) {
                     let used = alloc.iter().filter(|&&x| x == d).count();
                     prop_assert!(
                         used <= counts[d.index()],

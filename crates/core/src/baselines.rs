@@ -74,6 +74,43 @@ pub fn all_nnapi_allocation(profiles: &[TaskProfile]) -> Vec<Delegate> {
         .collect()
 }
 
+/// Local-only baseline for edge scenarios: each task on its best
+/// *on-device* resource, ignoring any edge-offload capability. For
+/// on-device-only profiles this coincides with
+/// [`static_best_allocation`].
+pub fn best_local_allocation(profiles: &[TaskProfile]) -> Vec<Delegate> {
+    profiles
+        .iter()
+        .map(|p| {
+            [Delegate::Cpu, Delegate::Gpu, Delegate::Nnapi]
+                .into_iter()
+                .filter_map(|d| p.latency_on(d).map(|l| (d, l)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("task supports no on-device resource")
+                .0
+        })
+        .collect()
+}
+
+/// Edge-only baseline: every edge-capable task offloads; tasks without an
+/// edge profile fall back to their best on-device resource. Greedy
+/// offloading is the natural "the server is faster, use it" policy — and
+/// the one that collapses when N clients contend for the same uplink and
+/// worker lanes.
+pub fn edge_only_allocation(profiles: &[TaskProfile]) -> Vec<Delegate> {
+    profiles
+        .iter()
+        .zip(best_local_allocation(profiles))
+        .map(|(p, local)| {
+            if p.supports(Delegate::Edge) {
+                Delegate::Edge
+            } else {
+                local
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +136,28 @@ mod tests {
         assert_eq!(
             all_nnapi_allocation(&profiles()),
             vec![Delegate::Nnapi, Delegate::Nnapi, Delegate::Cpu]
+        );
+    }
+
+    #[test]
+    fn local_baseline_ignores_edge() {
+        let profiles: Vec<TaskProfile> = profiles()
+            .into_iter()
+            .map(|p| p.with_edge(1.0)) // edge faster than everything
+            .collect();
+        assert_eq!(
+            best_local_allocation(&profiles),
+            vec![Delegate::Gpu, Delegate::Nnapi, Delegate::Cpu]
+        );
+    }
+
+    #[test]
+    fn edge_only_offloads_capable_tasks() {
+        let mut profiles = profiles();
+        profiles[0] = profiles[0].clone().with_edge(50.0); // even a slow edge is used
+        assert_eq!(
+            edge_only_allocation(&profiles),
+            vec![Delegate::Edge, Delegate::Nnapi, Delegate::Cpu]
         );
     }
 

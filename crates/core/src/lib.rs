@@ -52,7 +52,10 @@ mod session;
 pub use activation::{ActivationDecision, ActivationPolicy, ActivationReason, PeriodicPolicy};
 pub use algorithm::{CostMode, HboConfig, HboController, HboPoint, IterationRecord};
 pub use alloc::{allocate_tasks, round_proportions};
-pub use baselines::{all_nnapi_allocation, static_best_allocation, Baseline};
+pub use baselines::{
+    all_nnapi_allocation, best_local_allocation, edge_only_allocation, static_best_allocation,
+    Baseline,
+};
 pub use cost::{cost, normalized_latency, reward};
 pub use lookup::{LookupKey, LookupTable, StoredConfig};
 pub use profile::TaskProfile;

@@ -16,12 +16,22 @@ pub struct TaskProfile {
 
 impl TaskProfile {
     /// Creates a profile from per-resource latencies in
-    /// `[CPU, GPU, NNAPI]` order.
+    /// `[CPU, GPU, NNAPI, Edge]` order. Shorter slices (e.g. the paper's
+    /// on-device-only `[CPU, GPU, NNAPI]`) are padded with `None` — no
+    /// edge support — so existing 3-resource call sites stay valid.
     ///
     /// # Panics
     ///
-    /// Panics if every entry is `None` or any latency is not positive.
-    pub fn new(name: impl Into<String>, latency_ms: [Option<f64>; Delegate::COUNT]) -> Self {
+    /// Panics if every entry is `None`, any latency is not positive, or
+    /// more than [`Delegate::COUNT`] latencies are given.
+    pub fn new(name: impl Into<String>, latency_ms: impl AsRef<[Option<f64>]>) -> Self {
+        let given = latency_ms.as_ref();
+        assert!(
+            given.len() <= Delegate::COUNT,
+            "more latencies than resources"
+        );
+        let mut latency_ms = [None; Delegate::COUNT];
+        latency_ms[..given.len()].copy_from_slice(given);
         assert!(
             latency_ms.iter().any(Option::is_some),
             "task must support at least one resource"
@@ -33,6 +43,20 @@ impl TaskProfile {
             name: name.into(),
             latency_ms,
         }
+    }
+
+    /// Returns the profile with the edge-offload latency estimate set to
+    /// `ms` — the *unloaded* end-to-end estimate (uplink serialization +
+    /// propagation + edge inference + downlink), excluding queueing, which
+    /// only the `edgelink` simulation can measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive.
+    pub fn with_edge(mut self, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms > 0.0, "invalid latency: {ms}");
+        self.latency_ms[Delegate::Edge.index()] = Some(ms);
+        self
     }
 
     /// Builds the profile of one instance of a calibrated model.
@@ -104,9 +128,24 @@ mod tests {
     }
 
     #[test]
+    fn with_edge_extends_a_local_profile() {
+        let p = TaskProfile::new("t", [Some(40.0), Some(30.0), Some(10.0)]);
+        assert!(!p.supports(Delegate::Edge));
+        let p = p.with_edge(5.0);
+        assert_eq!(p.latency_on(Delegate::Edge), Some(5.0));
+        assert_eq!(p.best(), (Delegate::Edge, 5.0));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one resource")]
     fn all_na_panics() {
         TaskProfile::new("t", [None, None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more latencies than resources")]
+    fn too_many_latencies_panics() {
+        TaskProfile::new("t", [Some(1.0); 5]);
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! The edge-offload discrete-event simulation: N client radios sharing
+//! one wireless link profile and one edge inference server.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! Submit ─▶ uplink lane (serialize + retx) ─▶ propagation ─▶ admission
+//!   ▲                                                      ├─ started/queued ─▶ lane service
+//!   │                                                      └─ rejected ─▶ retry after timeout ┐
+//!   │                                                                 ▲─────────────────────┘
+//!   └──── next submit ◀── delivery ◀── propagation ◀── downlink lane ◀── inference done
+//! ```
+//!
+//! Each client is closed-loop and rate-anchored exactly like the on-device
+//! AI streams in [`soc::SocSim`]: the next submission fires at
+//! `max(now + gap, started + period) + jitter`, so an overloaded edge
+//! slows a client down rather than building an unbounded request backlog.
+//!
+//! Delivery is FIFO per flow despite jitter: a transfer's delivery time is
+//! clamped to be no earlier than the flow's previous delivery (link-layer
+//! in-order delivery), which the property tests pin.
+
+use std::collections::HashMap;
+
+use simcore::rng::mix;
+use simcore::stats::{LogHistogram, Running};
+use simcore::{Scheduler, SimDuration, SimTime, Simulator};
+
+use crate::link::{plan_transfer, ByteCounters, Direction, LinkParams};
+use crate::server::{Admission, EdgeServer, ServerParams};
+
+/// One offloading client: how much it ships per request and how often it
+/// asks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSpec {
+    /// Label for reports.
+    pub label: String,
+    /// Request payload (input tensors), in bytes.
+    pub request_bytes: u64,
+    /// Response payload (detections / masks), in bytes.
+    pub response_bytes: u64,
+    /// Inference time on one edge lane, in milliseconds.
+    pub infer_ms: f64,
+    /// Think time between a delivery and the next submission, in ms.
+    pub gap_ms: f64,
+    /// Rate anchor: target start-to-start period, in ms.
+    pub period_ms: f64,
+    /// Maximum deterministic start jitter, in ms.
+    pub jitter_ms: f64,
+}
+
+impl ClientSpec {
+    /// A typical MAR offload client: 64 KiB up (a compressed frame
+    /// region), 4 KiB down, 10 Hz, 8 ms edge inference.
+    pub fn mar_default(label: impl Into<String>) -> Self {
+        ClientSpec {
+            label: label.into(),
+            request_bytes: 64 * 1024,
+            response_bytes: 4 * 1024,
+            infer_ms: 8.0,
+            gap_ms: 2.0,
+            period_ms: 100.0,
+            jitter_ms: 5.0,
+        }
+    }
+}
+
+/// Measured behavior of one client's offload flow.
+#[derive(Debug, Clone)]
+pub struct FlowMetrics {
+    samples: Vec<(SimTime, f64)>,
+    overall: Running,
+    histogram: LogHistogram,
+    /// Uplink byte accounting.
+    pub uplink: ByteCounters,
+    /// Downlink byte accounting.
+    pub downlink: ByteCounters,
+    /// Admission rejections this flow absorbed (each costs one retry
+    /// timeout).
+    pub rejections: u64,
+}
+
+impl Default for FlowMetrics {
+    fn default() -> Self {
+        FlowMetrics {
+            samples: Vec::new(),
+            overall: Running::new(),
+            // 0.1 ms .. ~1.7 s in 10% steps, matching soc::StreamMetrics.
+            histogram: LogHistogram::new(0.1, 1.1, 102),
+            uplink: ByteCounters::default(),
+            downlink: ByteCounters::default(),
+            rejections: 0,
+        }
+    }
+}
+
+impl FlowMetrics {
+    /// Completed round trips.
+    pub fn completed(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// End-to-end latency statistics in milliseconds.
+    pub fn latency_overall(&self) -> &Running {
+        &self.overall
+    }
+
+    /// Full `(delivery time, latency ms)` trace, oldest first.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Mean latency (ms) of deliveries at or after `since`.
+    pub fn mean_since(&self, since: SimTime) -> Option<f64> {
+        let idx = self.samples.partition_point(|&(t, _)| t < since);
+        let tail = &self.samples[idx..];
+        if tail.is_empty() {
+            return None;
+        }
+        Some(tail.iter().map(|&(_, l)| l).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Approximate latency percentile in ms (log-bucketed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        self.histogram.quantile(q)
+    }
+
+    fn record(&mut self, at: SimTime, latency_ms: f64) {
+        self.samples.push((at, latency_ms));
+        self.overall.record(latency_ms);
+        self.histogram.record(latency_ms);
+    }
+}
+
+/// Identity of one in-flight request.
+type ReqKey = (usize, u64); // (client, seq)
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Client submits its next request to its uplink lane.
+    Submit { client: usize },
+    /// A transfer finished serializing on a radio lane.
+    LaneDone {
+        client: usize,
+        dir: Direction,
+        slot: usize,
+    },
+    /// A transfer's propagation ended: it reaches the far end.
+    Arrived {
+        client: usize,
+        dir: Direction,
+        seq: u64,
+    },
+    /// An edge worker lane finished an inference.
+    ServerDone { slot: usize },
+    /// A rejected request retries admission.
+    AdmissionRetry { client: usize, seq: u64 },
+}
+
+/// One client's radio + flow state.
+#[derive(Debug)]
+struct ClientState {
+    spec: ClientSpec,
+    /// 1-slot uplink serializer (soc's FIFO machinery reused as a radio).
+    uplink: soc::FifoServer<u64>,
+    /// 1-slot downlink serializer.
+    downlink: soc::FifoServer<u64>,
+    /// In-order delivery clamps, per direction.
+    last_up_delivery: SimTime,
+    last_down_delivery: SimTime,
+    /// Submission times of in-flight requests.
+    submitted: HashMap<u64, SimTime>,
+    /// Start time of the latest submission (rate anchor).
+    started_at: SimTime,
+    seq: u64,
+    /// Highest sequence number delivered back so far (FIFO invariant).
+    last_delivered_seq: u64,
+    metrics: FlowMetrics,
+}
+
+/// The whole edge world state (everything but the event queue).
+#[derive(Debug)]
+struct EdgeState {
+    link: LinkParams,
+    server: EdgeServer<ReqKey>,
+    clients: Vec<ClientState>,
+    master_seed: u64,
+}
+
+/// The multi-client edge-offload simulator.
+#[derive(Debug)]
+pub struct EdgeSim {
+    sim: Simulator<Ev>,
+    state: EdgeState,
+}
+
+type Sched<'a> = Scheduler<'a, Ev>;
+
+impl EdgeSim {
+    /// Builds the world: every client submits its first request at time
+    /// zero plus its deterministic jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link params are invalid, the server has no lanes, or
+    /// `clients` is empty.
+    pub fn new(
+        link: LinkParams,
+        server: ServerParams,
+        clients: Vec<ClientSpec>,
+        master_seed: u64,
+    ) -> Self {
+        link.validate();
+        assert!(!clients.is_empty(), "need at least one client");
+        let mut sim = Simulator::new();
+        let start = sim.now();
+        let states: Vec<ClientState> = clients
+            .into_iter()
+            .map(|spec| ClientState {
+                spec,
+                uplink: soc::FifoServer::new(1, start),
+                downlink: soc::FifoServer::new(1, start),
+                last_up_delivery: start,
+                last_down_delivery: start,
+                submitted: HashMap::new(),
+                started_at: start,
+                seq: 0,
+                last_delivered_seq: 0,
+                metrics: FlowMetrics::default(),
+            })
+            .collect();
+        for (client, st) in states.iter().enumerate() {
+            let jitter = jitter_ns(master_seed, client, 0, st.spec.jitter_ms);
+            sim.schedule(
+                start + SimDuration::from_nanos(jitter),
+                Ev::Submit { client },
+            );
+        }
+        EdgeSim {
+            sim,
+            state: EdgeState {
+                link,
+                server: EdgeServer::new(server, start),
+                clients: states,
+                master_seed,
+            },
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let EdgeSim { sim, state } = self;
+        sim.run_until(deadline, |sched, ev| state.handle(sched, ev));
+    }
+
+    /// Advances the simulation by `secs` simulated seconds.
+    pub fn run_for_secs(&mut self, secs: f64) {
+        let deadline = self.sim.now() + SimDuration::from_secs_f64(secs);
+        self.run_until(deadline);
+    }
+
+    /// Runs until every in-flight request has been delivered (no pending
+    /// events means every closed loop is quiescent, which only happens if
+    /// submission is stopped — used by the byte-conservation tests via a
+    /// far deadline after which flows are idle).
+    pub fn drain_until(&mut self, deadline: SimTime) {
+        self.run_until(deadline);
+    }
+
+    /// Number of clients.
+    pub fn client_count(&self) -> usize {
+        self.state.clients.len()
+    }
+
+    /// Flow measurements of one client.
+    pub fn metrics(&self, client: usize) -> &FlowMetrics {
+        &self.state.clients[client].metrics
+    }
+
+    /// Edge-server counters: `(admitted, rejected, completed)`.
+    pub fn server_counters(&self) -> (u64, u64, u64) {
+        (
+            self.state.server.admitted,
+            self.state.server.rejected,
+            self.state.server.completed(),
+        )
+    }
+
+    /// Time-weighted average busy edge lanes so far.
+    pub fn avg_busy_lanes(&self) -> f64 {
+        self.state.server.avg_busy_lanes(self.sim.now())
+    }
+
+    /// Requests currently in flight (submitted, not yet delivered),
+    /// across all clients.
+    pub fn in_flight(&self) -> usize {
+        self.state.clients.iter().map(|c| c.submitted.len()).sum()
+    }
+}
+
+/// Deterministic jitter draw in nanoseconds for `(client, seq)`.
+fn jitter_ns(master_seed: u64, client: usize, seq: u64, jitter_ms: f64) -> u64 {
+    if jitter_ms <= 0.0 {
+        return 0;
+    }
+    let span = SimDuration::from_millis_f64(jitter_ms).as_nanos().max(1);
+    mix(mix(master_seed, 0x5EED_0001 ^ client as u64), seq) % span
+}
+
+impl EdgeState {
+    /// Per-flow seed for link randomness in `dir`.
+    fn flow_seed(&self, client: usize, dir: Direction) -> u64 {
+        let tag = match dir {
+            Direction::Up => 0x5EED_0002u64,
+            Direction::Down => 0x5EED_0003u64,
+        };
+        mix(mix(self.master_seed, tag), client as u64)
+    }
+
+    fn handle(&mut self, sched: &mut Sched<'_>, ev: Ev) {
+        match ev {
+            Ev::Submit { client } => self.submit(sched, client),
+            Ev::LaneDone { client, dir, slot } => self.lane_done(sched, client, dir, slot),
+            Ev::Arrived { client, dir, seq } => match dir {
+                Direction::Up => self.request_arrived(sched, client, seq),
+                Direction::Down => self.response_delivered(sched, client, seq),
+            },
+            Ev::ServerDone { slot } => self.server_done(sched, slot),
+            Ev::AdmissionRetry { client, seq } => self.offer_to_server(sched, client, seq),
+        }
+    }
+
+    /// A client submits request `seq`: the uplink lane serializes it.
+    fn submit(&mut self, sched: &mut Sched<'_>, client: usize) {
+        let now = sched.now();
+        let flow_seed = self.flow_seed(client, Direction::Up);
+        let st = &mut self.clients[client];
+        st.seq += 1;
+        let seq = st.seq;
+        st.started_at = now;
+        st.submitted.insert(seq, now);
+        st.metrics.uplink.offered += st.spec.request_bytes;
+        let plan = plan_transfer(
+            &self.link,
+            Direction::Up,
+            st.spec.request_bytes,
+            flow_seed,
+            seq,
+        );
+        if let Some(start) = st.uplink.enqueue(now, seq, plan.occupancy) {
+            sched.schedule_at(
+                start.done_at,
+                Ev::LaneDone {
+                    client,
+                    dir: Direction::Up,
+                    slot: start.slot,
+                },
+            );
+        }
+    }
+
+    /// A radio lane finished serializing: account the airtime, schedule
+    /// the in-order arrival, and start the next queued transfer.
+    fn lane_done(&mut self, sched: &mut Sched<'_>, client: usize, dir: Direction, slot: usize) {
+        let now = sched.now();
+        let flow_seed = self.flow_seed(client, dir);
+        let st = &mut self.clients[client];
+        let (bytes, lane) = match dir {
+            Direction::Up => (st.spec.request_bytes, &mut st.uplink),
+            Direction::Down => (st.spec.response_bytes, &mut st.downlink),
+        };
+        let (seq, next) = lane.on_done(now, slot);
+        if let Some(start) = next {
+            sched.schedule_at(
+                start.done_at,
+                Ev::LaneDone {
+                    client,
+                    dir,
+                    slot: start.slot,
+                },
+            );
+        }
+        // Re-derive the (pure) plan to account transmitted bytes and the
+        // propagation of this exact transfer.
+        let plan = plan_transfer(&self.link, dir, bytes, flow_seed, seq);
+        let counters = match dir {
+            Direction::Up => &mut st.metrics.uplink,
+            Direction::Down => &mut st.metrics.downlink,
+        };
+        counters.transmitted += plan.attempts as u64 * bytes;
+        let last = match dir {
+            Direction::Up => &mut st.last_up_delivery,
+            Direction::Down => &mut st.last_down_delivery,
+        };
+        // FIFO per flow despite jitter: never deliver before an earlier
+        // transfer of the same flow.
+        let arrive = (now + plan.propagation).max(*last);
+        *last = arrive;
+        sched.schedule_at(arrive, Ev::Arrived { client, dir, seq });
+    }
+
+    /// A request reached the edge: offer it to the admission queue.
+    fn request_arrived(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
+        self.clients[client].metrics.uplink.delivered += self.clients[client].spec.request_bytes;
+        self.offer_to_server(sched, client, seq);
+    }
+
+    fn offer_to_server(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
+        let now = sched.now();
+        let work = SimDuration::from_millis_f64(self.clients[client].spec.infer_ms);
+        match self.server.try_admit(now, (client, seq), work) {
+            Admission::Started(start) => {
+                sched.schedule_at(start.done_at, Ev::ServerDone { slot: start.slot });
+            }
+            Admission::Queued => {}
+            Admission::Rejected => {
+                self.clients[client].metrics.rejections += 1;
+                // The NACK + client backoff collapse into one retry
+                // timeout, which rate-bounds re-offers.
+                sched.schedule_after(
+                    SimDuration::from_millis_f64(self.link.retx_timeout_ms.max(0.5)),
+                    Ev::AdmissionRetry { client, seq },
+                );
+            }
+        }
+    }
+
+    /// An edge lane finished: ship the response down.
+    fn server_done(&mut self, sched: &mut Sched<'_>, slot: usize) {
+        let now = sched.now();
+        let ((client, seq), next) = self.server.on_done(now, slot);
+        if let Some(start) = next {
+            sched.schedule_at(start.done_at, Ev::ServerDone { slot: start.slot });
+        }
+        let flow_seed = self.flow_seed(client, Direction::Down);
+        let st = &mut self.clients[client];
+        st.metrics.downlink.offered += st.spec.response_bytes;
+        let plan = plan_transfer(
+            &self.link,
+            Direction::Down,
+            st.spec.response_bytes,
+            flow_seed,
+            seq,
+        );
+        if let Some(start) = st.downlink.enqueue(now, seq, plan.occupancy) {
+            sched.schedule_at(
+                start.done_at,
+                Ev::LaneDone {
+                    client,
+                    dir: Direction::Down,
+                    slot: start.slot,
+                },
+            );
+        }
+    }
+
+    /// The response reached the client: the round trip is complete; the
+    /// closed loop schedules the next submission.
+    fn response_delivered(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
+        let now = sched.now();
+        let master_seed = self.master_seed;
+        let st = &mut self.clients[client];
+        st.metrics.downlink.delivered += st.spec.response_bytes;
+        let submitted = st
+            .submitted
+            .remove(&seq)
+            .expect("delivery of an unknown request");
+        assert!(
+            seq > st.last_delivered_seq,
+            "flow {client} delivered seq {seq} after {}",
+            st.last_delivered_seq
+        );
+        st.last_delivered_seq = seq;
+        st.metrics.record(now, (now - submitted).as_millis_f64());
+        // Rate-anchored next submission, as in soc streams.
+        let mut next = now + SimDuration::from_millis_f64(st.spec.gap_ms);
+        next = next.max(st.started_at + SimDuration::from_millis_f64(st.spec.period_ms));
+        next += SimDuration::from_nanos(jitter_ns(master_seed, client, seq, st.spec.jitter_ms));
+        sched.schedule_at(next, Ev::Submit { client });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_link() -> LinkParams {
+        LinkParams {
+            loss_prob: 0.0,
+            jitter_sigma: 0.0,
+            ..LinkParams::wifi()
+        }
+    }
+
+    fn clients(n: usize) -> Vec<ClientSpec> {
+        (0..n)
+            .map(|i| ClientSpec::mar_default(format!("c{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn single_client_latency_matches_unloaded_estimate() {
+        let link = quiet_link();
+        let spec = ClientSpec::mar_default("solo");
+        let estimate =
+            link.unloaded_offload_ms(spec.request_bytes, spec.response_bytes, spec.infer_ms);
+        let mut sim = EdgeSim::new(link, ServerParams::small(), vec![spec], 1);
+        sim.run_for_secs(10.0);
+        let m = sim.metrics(0);
+        assert!(m.completed() > 50);
+        // No contention, no loss, no jitter: measured == estimate.
+        assert!(
+            (m.latency_overall().mean() - estimate).abs() < 1e-6,
+            "measured {} vs estimate {estimate}",
+            m.latency_overall().mean()
+        );
+    }
+
+    #[test]
+    fn contention_raises_latency_with_client_count() {
+        // One edge lane, increasingly many clients: mean latency must rise.
+        let server = ServerParams {
+            worker_lanes: 1,
+            queue_capacity: 16,
+        };
+        let mut means = Vec::new();
+        for n in [1usize, 4, 8] {
+            let mut sim = EdgeSim::new(quiet_link(), server, clients(n), 2);
+            sim.run_for_secs(20.0);
+            let mean = (0..n)
+                .map(|c| sim.metrics(c).latency_overall().mean())
+                .sum::<f64>()
+                / n as f64;
+            means.push(mean);
+        }
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "means = {means:?}"
+        );
+    }
+
+    #[test]
+    fn rejections_fire_when_the_queue_is_tiny() {
+        let server = ServerParams {
+            worker_lanes: 1,
+            queue_capacity: 0,
+        };
+        let mut specs = clients(6);
+        for s in &mut specs {
+            s.infer_ms = 60.0; // server-bound: 6 clients × 10 Hz × 60 ms ≫ 1 lane
+            s.period_ms = 50.0;
+        }
+        let mut sim = EdgeSim::new(quiet_link(), server, specs, 3);
+        sim.run_for_secs(10.0);
+        let (_, rejected, _) = sim.server_counters();
+        assert!(rejected > 0, "expected rejections under overload");
+        // Rejected requests are retried, not lost: everything still
+        // completes eventually (closed loop keeps in_flight ≤ 1/client).
+        assert!(sim.in_flight() <= 6);
+        for c in 0..6 {
+            assert!(sim.metrics(c).completed() > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = EdgeSim::new(LinkParams::wifi(), ServerParams::small(), clients(4), 7);
+            sim.run_for_secs(15.0);
+            (0..4)
+                .flat_map(|c| {
+                    sim.metrics(c)
+                        .samples()
+                        .iter()
+                        .map(|&(t, l)| (t, l.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -14,7 +14,7 @@ use crate::scenario::ScenarioSpec;
 
 /// Think time between consecutive inferences of one task (camera frame
 /// hand-off, pre/post-processing outside the accelerators).
-const TASK_GAP_MS: f64 = 2.0;
+pub const TASK_GAP_MS: f64 = 2.0;
 
 /// Target start-to-start period of every AI task: MAR apps drive their
 /// detectors/classifiers from the camera preview at ~10 Hz, so tasks are
@@ -255,6 +255,31 @@ impl MarApp {
             self.sim.update_stream(task.stream, plan);
             task.delegate = delegate;
         }
+    }
+
+    /// Marks a task as offloaded to the edge: its on-device footprint
+    /// collapses to a small serialization/compression stage on the render
+    /// CPU core, and its end-to-end latency is measured by the edge world
+    /// ([`crate::edge::EdgeWorld`]) instead of the SoC. The task's
+    /// delegate reads back as [`Delegate::Edge`]; any later
+    /// [`Self::set_allocation`] with an on-device delegate restores a
+    /// normal execution plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range or `client_overhead_ms` is not
+    /// positive and finite.
+    pub fn set_offloaded(&mut self, task: usize, client_overhead_ms: f64) {
+        assert!(
+            client_overhead_ms.is_finite() && client_overhead_ms > 0.0,
+            "invalid client overhead: {client_overhead_ms}"
+        );
+        let stub = StageSeq::new(vec![Stage::compute(
+            self.procs.cpu_render,
+            SimDuration::from_millis_f64(client_overhead_ms),
+        )]);
+        self.set_custom_plan(task, stub);
+        self.tasks[task].delegate = Delegate::Edge;
     }
 
     /// Pins a task to an arbitrary execution plan (e.g. a fine-grained
@@ -530,6 +555,40 @@ mod tests {
             at: SimTime::ZERO,
         };
         assert!((m.reward(2.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offloading_frees_the_soc_and_reads_back_as_edge() {
+        let mut app = MarApp::new(&ScenarioSpec::sc1_cf1());
+        app.place_all_objects();
+        app.run_for_secs(1.0);
+        let loaded = app.measure_for_secs(2.0);
+        // Offload every AI task: only the tiny serialization stubs remain
+        // on the SoC, so on-device latencies collapse.
+        for i in 0..app.task_names().len() {
+            app.set_offloaded(i, 0.5);
+        }
+        assert!(app.allocation().iter().all(|&d| d == Delegate::Edge));
+        app.run_for_secs(0.5);
+        let stubbed = app.measure_for_secs(2.0);
+        assert!(
+            stubbed.epsilon < loaded.epsilon,
+            "epsilon {} -> {}",
+            loaded.epsilon,
+            stubbed.epsilon
+        );
+        // Bringing the tasks back on-device restores real plans.
+        let all_cpu = vec![Delegate::Cpu; app.task_names().len()];
+        app.set_allocation(&all_cpu);
+        assert_eq!(app.allocation(), all_cpu);
+        app.run_for_secs(0.5);
+        let back = app.measure_for_secs(2.0);
+        assert!(
+            back.epsilon > stubbed.epsilon,
+            "epsilon {} -> {}",
+            stubbed.epsilon,
+            back.epsilon
+        );
     }
 
     #[test]

@@ -1,0 +1,633 @@
+//! Edge offloading: the [`EdgeWorld`] couples N copies of the MAR app to
+//! one shared wireless link profile and edge inference server, making
+//! **Edge** a fourth allocation target for HBO (DESIGN.md §6).
+//!
+//! # World model
+//!
+//! The fleet is symmetric: every client runs the same scenario on the
+//! same device and applies the same HBO configuration, as a venue full of
+//! identical MAR users would. Locally the clients do not contend with
+//! each other (each has its own SoC), so one [`MarApp`] instance stands
+//! in for all of them; what they *do* share is the edge server and the
+//! link profile, modeled by one [`edgelink::EdgeSim`] carrying one flow
+//! per `(client, edge-allocated task)`. A task allocated to Edge leaves
+//! only a small serialization stub on the SoC
+//! ([`MarApp::set_offloaded`]); its latency is measured from the edge
+//! simulation instead.
+//!
+//! The optimizer is unchanged: HBO sees Edge as one more simplex
+//! coordinate and one more latency column in the task profiles, and the
+//! edge cost (uplink serialization + queueing + inference + downlink)
+//! reaches it the same way SoC contention does — through the measured
+//! `(Q, ε)` of each control period.
+
+pub use edgelink::{LinkParams, ServerParams};
+
+use edgelink::{ClientSpec, EdgeSim};
+use hbo_core::{
+    best_local_allocation, edge_only_allocation, HboConfig, HboController, HboPoint, TaskProfile,
+};
+use nnmodel::Delegate;
+use simcore::rand::SeedableRng;
+use simcore::rng::mix;
+use simcore::SimTime;
+
+use crate::app::{task_period_ms, MarApp, TASK_GAP_MS, TASK_JITTER_MS};
+use crate::experiment::{HboRunResult, CONTROL_PERIOD_SECS};
+use crate::scenario::ScenarioSpec;
+
+/// Warm-up before the first measurement (mirrors `experiment::run_hbo`).
+const WARMUP_SECS: f64 = 1.0;
+
+/// The edge deployment a scenario offloads to: link profile, server
+/// sizing, fleet size, and per-request payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeSpec {
+    /// Per-client wireless link parameters.
+    pub link: LinkParams,
+    /// Shared edge inference server sizing.
+    pub server: ServerParams,
+    /// Number of identical clients sharing the server.
+    pub clients: usize,
+    /// Request payload per inference (input tensors), in bytes.
+    pub request_bytes: u64,
+    /// Response payload per inference (detections/labels), in bytes.
+    pub response_bytes: u64,
+    /// Edge inference time as a fraction of the task's best on-device
+    /// latency (server GPUs are faster than phone accelerators).
+    pub server_speedup: f64,
+    /// On-device serialization/compression cost per offloaded inference,
+    /// in milliseconds (the stub left on the SoC).
+    pub client_overhead_ms: f64,
+}
+
+impl EdgeSpec {
+    /// A Wi-Fi deployment with a small shared server and `clients` users.
+    pub fn wifi(clients: usize) -> Self {
+        EdgeSpec {
+            link: LinkParams::wifi(),
+            server: ServerParams::small(),
+            clients,
+            request_bytes: 32 * 1024,
+            response_bytes: 4 * 1024,
+            server_speedup: 0.15,
+            client_overhead_ms: 0.5,
+        }
+    }
+
+    /// Sets the uplink bandwidth (downlink follows at 2×, the usual
+    /// asymmetry) — the knob the `edge_offload` sweep turns.
+    pub fn with_uplink_mbps(mut self, mbps: f64) -> Self {
+        self.link.uplink_mbps = mbps;
+        self.link.downlink_mbps = 2.0 * mbps;
+        self
+    }
+
+    /// Edge inference time for a task whose best on-device latency is
+    /// `best_local_ms` (floored so trivial models still pay a kernel
+    /// launch).
+    pub fn infer_ms(&self, best_local_ms: f64) -> f64 {
+        (best_local_ms * self.server_speedup).max(0.5)
+    }
+
+    /// Unloaded offload latency for such a task — the Edge `τ^e`.
+    pub fn offload_estimate_ms(&self, best_local_ms: f64) -> f64 {
+        self.link.unloaded_offload_ms(
+            self.request_bytes,
+            self.response_bytes,
+            self.infer_ms(best_local_ms),
+        )
+    }
+}
+
+/// Edge-side observations of one measurement window (absent when no task
+/// was allocated to Edge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeStats {
+    /// p95 round-trip latency over all flows' completions, in ms.
+    pub p95_ms: f64,
+    /// Mean round-trip latency over all flows' completions, in ms.
+    pub mean_ms: f64,
+    /// Round trips completed across the fleet.
+    pub completed: u64,
+    /// Admission rejections across the fleet.
+    pub rejected: u64,
+    /// Time-weighted average busy server lanes.
+    pub avg_busy_lanes: f64,
+}
+
+/// A fleet measurement over one control period: the on-device
+/// [`crate::Measurement`] with edge-allocated tasks' latencies replaced
+/// by the shared-edge round-trip times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeMeasurement {
+    /// Average virtual-object quality `Q`.
+    pub quality: f64,
+    /// Average normalized AI latency `ε`, with Edge tasks measured over
+    /// the shared link + server.
+    pub epsilon: f64,
+    /// Mean per-task latency (fleet mean for Edge tasks), in task order.
+    pub per_task_ms: Vec<f64>,
+    /// Edge-side stats, when any task was offloaded.
+    pub edge: Option<EdgeStats>,
+    /// Simulated time at the end of the window.
+    pub at: SimTime,
+}
+
+impl EdgeMeasurement {
+    /// The reward `B = Q − w ε`.
+    pub fn reward(&self, w: f64) -> f64 {
+        hbo_core::reward(self.quality, self.epsilon, w)
+    }
+}
+
+/// A multi-client MAR session with edge offloading (module docs for the
+/// world model).
+#[derive(Debug)]
+pub struct EdgeWorld {
+    edge: EdgeSpec,
+    app: MarApp,
+    expected_ms: Vec<f64>,
+    /// Edge inference time per task.
+    infer_ms: Vec<f64>,
+    /// Fallback latency per task when a window completes no round trip.
+    estimate_ms: Vec<f64>,
+    /// Best on-device delegate per task (placeholder under the stub).
+    local_best: Vec<Delegate>,
+    /// The allocation currently applied (may contain [`Delegate::Edge`]).
+    alloc: Vec<Delegate>,
+    master_seed: u64,
+    /// Measurement windows completed (advances the edge RNG stream).
+    epoch: u64,
+}
+
+impl EdgeWorld {
+    /// Builds the fleet for a scenario with an [`EdgeSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.edge` is `None` or names no clients.
+    pub fn new(spec: &ScenarioSpec, seed: u64) -> Self {
+        let edge = spec
+            .edge
+            .expect("EdgeWorld requires ScenarioSpec::with_edge");
+        assert!(edge.clients >= 1, "need at least one client");
+        let profiles = spec.profiles();
+        let infer_ms: Vec<f64> = profiles
+            .iter()
+            .map(|p| edge.infer_ms(best_local_ms(p)))
+            .collect();
+        let estimate_ms: Vec<f64> = profiles
+            .iter()
+            .map(|p| edge.offload_estimate_ms(best_local_ms(p)))
+            .collect();
+        let app = MarApp::new(spec);
+        let alloc = app.allocation();
+        EdgeWorld {
+            edge,
+            expected_ms: profiles.iter().map(|p| p.expected_latency()).collect(),
+            infer_ms,
+            estimate_ms,
+            local_best: best_local_allocation(&profiles),
+            alloc,
+            app,
+            master_seed: seed,
+            epoch: 0,
+        }
+    }
+
+    /// The on-device app shared by every (locally independent) client.
+    pub fn app(&self) -> &MarApp {
+        &self.app
+    }
+
+    /// Places every pending virtual object.
+    pub fn place_all_objects(&mut self) {
+        self.app.place_all_objects();
+    }
+
+    /// Advances the on-device simulation (edge flows only run inside
+    /// measurement windows).
+    pub fn run_for_secs(&mut self, secs: f64) {
+        self.app.run_for_secs(secs);
+    }
+
+    /// The allocation currently applied, in task order.
+    pub fn allocation(&self) -> Vec<Delegate> {
+        self.alloc.clone()
+    }
+
+    /// Applies a full HBO configuration. Edge-allocated tasks leave a
+    /// serialization stub on the SoC; everything else is a plain
+    /// [`MarApp::apply`].
+    pub fn apply(&mut self, point: &HboPoint) {
+        // set_allocation rejects Edge entries, so Edge tasks first get
+        // their best local delegate as a placeholder plan...
+        let local: Vec<Delegate> = point
+            .allocation
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                if d == Delegate::Edge {
+                    self.local_best[i]
+                } else {
+                    d
+                }
+            })
+            .collect();
+        self.app.set_allocation(&local);
+        // ...then the placeholder is overwritten by the offload stub.
+        for (i, &d) in point.allocation.iter().enumerate() {
+            if d == Delegate::Edge {
+                self.app.set_offloaded(i, self.edge.client_overhead_ms);
+            }
+        }
+        self.app.set_triangle_ratio(point.x);
+        self.alloc = point.allocation.clone();
+    }
+
+    /// Runs one control period on both simulations and measures the fleet
+    /// `(Q, ε)` over it. Each window's edge flows draw from a fresh
+    /// `(master seed, epoch)` stream, so a world is deterministic given
+    /// its call sequence.
+    pub fn measure_for_secs(&mut self, secs: f64) -> EdgeMeasurement {
+        let edge_tasks: Vec<usize> = self
+            .alloc
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Delegate::Edge)
+            .map(|(i, _)| i)
+            .collect();
+        let base = self.app.measure_for_secs(secs);
+        let mut per_task_ms = base.per_task_ms;
+        let mut edge_stats = None;
+        if !edge_tasks.is_empty() {
+            let mut flows = Vec::new();
+            for client in 0..self.edge.clients {
+                for &t in &edge_tasks {
+                    flows.push(ClientSpec {
+                        label: format!("c{client}/t{t}"),
+                        request_bytes: self.edge.request_bytes,
+                        response_bytes: self.edge.response_bytes,
+                        infer_ms: self.infer_ms[t],
+                        gap_ms: TASK_GAP_MS,
+                        period_ms: task_period_ms(t),
+                        jitter_ms: TASK_JITTER_MS,
+                    });
+                }
+            }
+            let seed = mix(self.master_seed, self.epoch);
+            let mut esim = EdgeSim::new(self.edge.link, self.edge.server, flows, seed);
+            esim.run_for_secs(secs);
+
+            // Fleet-mean latency per edge task (flows are laid out
+            // client-major, task-minor).
+            let k = edge_tasks.len();
+            for (j, &t) in edge_tasks.iter().enumerate() {
+                let mut sum = 0.0;
+                let mut n = 0u64;
+                for client in 0..self.edge.clients {
+                    let m = esim.metrics(client * k + j);
+                    if m.completed() > 0 {
+                        sum += m.latency_overall().mean();
+                        n += 1;
+                    }
+                }
+                per_task_ms[t] = if n > 0 {
+                    sum / n as f64
+                } else {
+                    self.estimate_ms[t]
+                };
+            }
+
+            // Pooled fleet latency distribution for the reported p95.
+            let mut pooled: Vec<f64> = (0..esim.client_count())
+                .flat_map(|c| esim.metrics(c).samples().iter().map(|&(_, l)| l))
+                .collect();
+            pooled.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let (_, rejected, _) = esim.server_counters();
+            edge_stats = Some(EdgeStats {
+                p95_ms: percentile(&pooled, 0.95),
+                mean_ms: pooled.iter().sum::<f64>() / pooled.len().max(1) as f64,
+                completed: pooled.len() as u64,
+                rejected,
+                avg_busy_lanes: esim.avg_busy_lanes(),
+            });
+        }
+        self.epoch += 1;
+        let epsilon = hbo_core::normalized_latency(&per_task_ms, &self.expected_ms);
+        EdgeMeasurement {
+            quality: base.quality,
+            epsilon,
+            per_task_ms,
+            edge: edge_stats,
+            at: base.at,
+        }
+    }
+}
+
+/// Best on-device latency of a (possibly edge-extended) profile.
+fn best_local_ms(p: &TaskProfile) -> f64 {
+    [Delegate::Cpu, Delegate::Gpu, Delegate::Nnapi]
+        .into_iter()
+        .filter_map(|d| p.latency_on(d))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// One full HBO activation on an [`EdgeWorld`]: identical to
+/// [`crate::experiment::run_hbo`] but with Edge in the decision space and
+/// the fleet measurement in the loop.
+///
+/// # Panics
+///
+/// Panics if `spec.edge` is `None`.
+pub fn run_edge_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRunResult {
+    let mut world = EdgeWorld::new(spec, mix(seed, 0xED6E_0001));
+    world.place_all_objects();
+    world.run_for_secs(WARMUP_SECS);
+    let mut hbo = HboController::new(spec.profiles(), config.clone());
+    let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
+    let incumbent = hbo.incumbent_point(
+        world.allocation(),
+        world.app().scene().overall_ratio().min(1.0),
+    );
+    world.apply(&incumbent);
+    let m = world.measure_for_secs(CONTROL_PERIOD_SECS);
+    hbo.observe(incumbent, m.quality, m.epsilon);
+    while !hbo.is_done() {
+        let point = hbo.next_point(&mut rng);
+        world.apply(&point);
+        let m = world.measure_for_secs(CONTROL_PERIOD_SECS);
+        hbo.observe(point, m.quality, m.epsilon);
+    }
+    let best = hbo
+        .best()
+        .expect("activation ran at least one iteration")
+        .clone();
+    HboRunResult {
+        scenario: spec.name.clone(),
+        best_cost_trace: hbo.best_cost_trace(),
+        records: hbo.records().to_vec(),
+        best,
+    }
+}
+
+/// The measured outcome of one system on an edge scenario.
+#[derive(Debug, Clone)]
+pub struct EdgeSystemOutcome {
+    /// `"local-only"`, `"edge-only"`, or `"hbo-joint"`.
+    pub system: &'static str,
+    /// Final allocation, in task order.
+    pub allocation: Vec<Delegate>,
+    /// Final triangle ratio.
+    pub x: f64,
+    /// Fleet measurement under the final configuration.
+    pub measurement: EdgeMeasurement,
+}
+
+impl EdgeSystemOutcome {
+    /// The reward `B = Q − w ε`.
+    pub fn reward(&self, w: f64) -> f64 {
+        self.measurement.reward(w)
+    }
+}
+
+/// Applies a fixed configuration to a fresh fleet and measures it over an
+/// extended window.
+pub fn evaluate_fixed_edge(
+    spec: &ScenarioSpec,
+    allocation: &[Delegate],
+    x: f64,
+    seed: u64,
+) -> EdgeMeasurement {
+    let mut world = EdgeWorld::new(spec, seed);
+    world.place_all_objects();
+    let point = HboPoint {
+        z: Vec::new(),
+        c: Vec::new(),
+        x,
+        allocation: allocation.to_vec(),
+    };
+    world.apply(&point);
+    world.run_for_secs(WARMUP_SECS);
+    world.measure_for_secs(2.0 * CONTROL_PERIOD_SECS)
+}
+
+/// Compares the three edge-aware systems on one scenario:
+///
+/// - **local-only** — every task on its best on-device resource, full
+///   quality (the no-edge status quo);
+/// - **edge-only** — every edge-capable task offloaded, full quality
+///   (naive "the cloud is faster" policy);
+/// - **hbo-joint** — HBO optimizing allocation (including Edge) and the
+///   triangle ratio jointly.
+///
+/// # Panics
+///
+/// Panics if `spec.edge` is `None`.
+pub fn compare_edge_systems(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+) -> Vec<EdgeSystemOutcome> {
+    let profiles = spec.profiles();
+    let local = best_local_allocation(&profiles);
+    let edge_only = edge_only_allocation(&profiles);
+    let hbo_run = run_edge_hbo(spec, config, seed);
+    let eval_seed = mix(seed, 0xED6E_0002);
+    vec![
+        EdgeSystemOutcome {
+            system: "local-only",
+            measurement: evaluate_fixed_edge(spec, &local, 1.0, eval_seed),
+            allocation: local,
+            x: 1.0,
+        },
+        EdgeSystemOutcome {
+            system: "edge-only",
+            measurement: evaluate_fixed_edge(spec, &edge_only, 1.0, eval_seed),
+            allocation: edge_only,
+            x: 1.0,
+        },
+        EdgeSystemOutcome {
+            system: "hbo-joint",
+            measurement: evaluate_fixed_edge(
+                spec,
+                &hbo_run.best.point.allocation,
+                hbo_run.best.point.x,
+                eval_seed,
+            ),
+            allocation: hbo_run.best.point.allocation.clone(),
+            x: hbo_run.best.point.x,
+        },
+    ]
+}
+
+/// Renders one sweep row as a JSON line (hand-rolled; hermetic build).
+pub fn row_json(
+    scenario: &str,
+    clients: usize,
+    uplink_mbps: f64,
+    outcome: &EdgeSystemOutcome,
+    w: f64,
+) -> String {
+    let alloc: String = outcome.allocation.iter().map(|d| d.letter()).collect();
+    let edge = match &outcome.measurement.edge {
+        Some(e) => format!(
+            "{{\"p95_ms\":{:.6},\"mean_ms\":{:.6},\"completed\":{},\"rejected\":{},\"avg_busy_lanes\":{:.6}}}",
+            e.p95_ms, e.mean_ms, e.completed, e.rejected, e.avg_busy_lanes
+        ),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"sweep\":\"edge_offload\",\"scenario\":\"{}\",\"clients\":{},\"uplink_mbps\":{:.3},\
+         \"system\":\"{}\",\"alloc\":\"{}\",\"x\":{:.6},\"quality\":{:.6},\"epsilon\":{:.6},\
+         \"reward\":{:.6},\"edge\":{}}}",
+        scenario,
+        clients,
+        uplink_mbps,
+        outcome.system,
+        alloc,
+        outcome.x,
+        outcome.measurement.quality,
+        outcome.measurement.epsilon,
+        outcome.reward(w),
+        edge
+    )
+}
+
+/// Runs one `(clients, uplink bandwidth)` cell of the `edge_offload`
+/// sweep and renders its three system rows — shared by the bench binary
+/// and the golden regression test.
+pub fn sweep_cell(
+    base: &ScenarioSpec,
+    clients: usize,
+    uplink_mbps: f64,
+    config: &HboConfig,
+    seed: u64,
+) -> Vec<String> {
+    let spec = base
+        .clone()
+        .with_edge(EdgeSpec::wifi(clients).with_uplink_mbps(uplink_mbps));
+    compare_edge_systems(&spec, config, seed)
+        .iter()
+        .map(|o| row_json(&spec.name, clients, uplink_mbps, o, config.w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> HboConfig {
+        HboConfig {
+            n_initial: 3,
+            iterations: 5,
+            ..HboConfig::default()
+        }
+    }
+
+    fn edge_spec(clients: usize, mbps: f64) -> EdgeSpec {
+        EdgeSpec::wifi(clients).with_uplink_mbps(mbps)
+    }
+
+    #[test]
+    fn edge_profiles_extend_tau_e() {
+        let spec = ScenarioSpec::sc2_cf2().with_edge(edge_spec(2, 50.0));
+        for p in spec.profiles() {
+            assert!(p.supports(Delegate::Edge), "{} lacks Edge", p.name());
+            assert!(p.latency_on(Delegate::Edge).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn edge_world_measures_offloaded_tasks_from_the_shared_sim() {
+        let spec = ScenarioSpec::sc2_cf2().with_edge(edge_spec(2, 50.0));
+        let mut world = EdgeWorld::new(&spec, 11);
+        world.place_all_objects();
+        world.run_for_secs(WARMUP_SECS);
+        let profiles = spec.profiles();
+        let point = HboPoint {
+            z: Vec::new(),
+            c: Vec::new(),
+            x: 1.0,
+            allocation: edge_only_allocation(&profiles),
+        };
+        world.apply(&point);
+        let m = world.measure_for_secs(2.0);
+        let e = m.edge.expect("edge tasks ran");
+        assert!(e.completed > 0);
+        assert!(e.p95_ms >= e.mean_ms * 0.5);
+        // Offloaded latencies carry at least the RTT.
+        for (i, &ms) in m.per_task_ms.iter().enumerate() {
+            assert!(
+                ms >= spec.edge.unwrap().link.rtt_ms * 0.5,
+                "task {i}: {ms} ms is below the link floor"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_p95_is_monotone_in_client_count() {
+        // Fixed bandwidth, edge-only allocation, one server lane: more
+        // clients must mean a worse fleet p95.
+        let mut p95s = Vec::new();
+        for clients in [1usize, 4, 8] {
+            let mut edge = edge_spec(clients, 50.0);
+            edge.server = ServerParams {
+                worker_lanes: 1,
+                queue_capacity: 32,
+            };
+            let spec = ScenarioSpec::sc2_cf2().with_edge(edge);
+            let alloc = edge_only_allocation(&spec.profiles());
+            let m = evaluate_fixed_edge(&spec, &alloc, 1.0, 23);
+            p95s.push(m.edge.expect("edge stats").p95_ms);
+        }
+        assert!(
+            p95s[0] < p95s[1] && p95s[1] < p95s[2],
+            "fleet p95 not monotone: {p95s:?}"
+        );
+    }
+
+    #[test]
+    fn edge_world_is_deterministic() {
+        let spec = ScenarioSpec::sc2_cf2().with_edge(edge_spec(3, 25.0));
+        let alloc = edge_only_allocation(&spec.profiles());
+        let a = evaluate_fixed_edge(&spec, &alloc, 1.0, 5);
+        let b = evaluate_fixed_edge(&spec, &alloc, 1.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hbo_joint_dominates_both_baselines_in_some_regime() {
+        // Heavy scene (SC1), small taskset: at some bandwidth HBO's joint
+        // allocation + decimation must beat both fixed policies.
+        let config = quick_config();
+        let mut dominated = false;
+        for mbps in [5.0, 50.0] {
+            let spec = ScenarioSpec::sc1_cf2().with_edge(edge_spec(4, mbps));
+            let outcomes = compare_edge_systems(&spec, &config, 17);
+            let reward = |name: &str| {
+                outcomes
+                    .iter()
+                    .find(|o| o.system == name)
+                    .expect("system present")
+                    .reward(config.w)
+            };
+            if reward("hbo-joint") > reward("local-only")
+                && reward("hbo-joint") > reward("edge-only")
+            {
+                dominated = true;
+            }
+        }
+        assert!(dominated, "hbo-joint never dominated both baselines");
+    }
+}

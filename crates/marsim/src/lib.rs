@@ -19,6 +19,9 @@
 //!   scenario × config × replicate job lists on `simcore::pool` workers,
 //!   with per-job seed streams and order-independent metric merging, so
 //!   `--threads N` is bit-identical to `--threads 1`.
+//! * [`edge`] — multi-client edge offloading: [`EdgeWorld`] couples the
+//!   app to a shared wireless link + edge server ([`edgelink`]) and makes
+//!   Edge a fourth HBO allocation target.
 //! * [`userstudy`] — the simulated 7-participant panel of Fig. 9.
 //!
 //! # Example
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod app;
+pub mod edge;
 pub mod experiment;
 pub mod isolated;
 pub mod load;
@@ -46,7 +50,8 @@ pub mod synth;
 pub mod timeline;
 pub mod userstudy;
 
-pub use app::{task_period_ms, MarApp, Measurement, TASK_JITTER_MS, TASK_PERIOD_MS};
+pub use app::{task_period_ms, MarApp, Measurement, TASK_GAP_MS, TASK_JITTER_MS, TASK_PERIOD_MS};
+pub use edge::{EdgeMeasurement, EdgeSpec, EdgeSystemOutcome, EdgeWorld};
 pub use experiment::{BaselineOutcome, ExperimentResult, HboRunResult};
 pub use runner::{RunnerReport, SweepJob, SweepOutcome, SweepResult};
 pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};

@@ -7,6 +7,8 @@ use hbo_core::TaskProfile;
 use nnmodel::ModelZoo;
 use soc::DeviceProfile;
 
+use crate::edge::EdgeSpec;
+
 /// One taskset entry: a model and the number of concurrent instances.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
@@ -39,6 +41,11 @@ pub struct ScenarioSpec {
     pub tasks: Vec<TaskSpec>,
     /// User-object base distance in meters.
     pub user_distance: f64,
+    /// Wireless link + shared edge server, when the scenario allows
+    /// offloading (`None` reproduces the paper's on-device-only setting).
+    /// When set, [`Self::profiles`] gains an Edge latency per task and
+    /// HBO's decision space gains the edge dimension.
+    pub edge: Option<EdgeSpec>,
 }
 
 /// The CF1 taskset of Table II: six AI tasks (three GPU-affine, three
@@ -71,6 +78,7 @@ impl ScenarioSpec {
             objects: sc1_catalog(),
             tasks: cf1_tasks(),
             user_distance: DEFAULT_USER_DISTANCE,
+            edge: None,
         }
     }
 
@@ -82,6 +90,7 @@ impl ScenarioSpec {
             objects: sc2_catalog(),
             tasks: cf1_tasks(),
             user_distance: DEFAULT_USER_DISTANCE,
+            edge: None,
         }
     }
 
@@ -93,6 +102,7 @@ impl ScenarioSpec {
             objects: sc1_catalog(),
             tasks: cf2_tasks(),
             user_distance: DEFAULT_USER_DISTANCE,
+            edge: None,
         }
     }
 
@@ -104,6 +114,7 @@ impl ScenarioSpec {
             objects: sc2_catalog(),
             tasks: cf2_tasks(),
             user_distance: DEFAULT_USER_DISTANCE,
+            edge: None,
         }
     }
 
@@ -156,8 +167,18 @@ impl ScenarioSpec {
         models
     }
 
+    /// Enables edge offloading for this scenario.
+    pub fn with_edge(mut self, edge: EdgeSpec) -> Self {
+        self.edge = Some(edge);
+        self
+    }
+
     /// Static isolated-latency profiles per task instance (the priority
-    /// queue `P` and the `τ^e` references).
+    /// queue `P` and the `τ^e` references). When the scenario has an
+    /// [`EdgeSpec`], every profile additionally carries the *unloaded*
+    /// offload latency (uplink serialization + RTT + edge inference +
+    /// downlink serialization — no queueing), which is the `τ^e` HBO uses
+    /// for the Edge resource.
     ///
     /// # Panics
     ///
@@ -167,10 +188,17 @@ impl ScenarioSpec {
         self.task_models()
             .iter()
             .map(|m| {
-                TaskProfile::from_model(
+                let p = TaskProfile::from_model(
                     zoo.get(m)
                         .unwrap_or_else(|| panic!("model {m:?} not in zoo")),
-                )
+                );
+                match &self.edge {
+                    Some(edge) => {
+                        let (_, best_local_ms) = p.best();
+                        p.with_edge(edge.offload_estimate_ms(best_local_ms))
+                    }
+                    None => p,
+                }
             })
             .collect()
     }

@@ -1,8 +1,11 @@
 //! Delegates (allocatable resources) and AI task kinds.
 
-/// An allocation choice for an AI task, matching the paper's three
-/// resources: plain CPU inference, the GPU delegate (all operators on the
-/// GPU), and the NNAPI delegate (operators split across NPU and GPU).
+/// An allocation choice for an AI task: the paper's three on-device
+/// resources — plain CPU inference, the GPU delegate (all operators on the
+/// GPU), and the NNAPI delegate (operators split across NPU and GPU) —
+/// plus the edge-offload target added by the `edgelink` extension (the
+/// task's tensors are shipped over the wireless link and inferred on a
+/// shared edge server).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Delegate {
     /// Multi-threaded CPU inference.
@@ -12,22 +15,33 @@ pub enum Delegate {
     /// Android NNAPI: supported operators on the NPU/TPU, the rest falling
     /// back to the GPU.
     Nnapi,
+    /// Offload to the shared edge inference server over the wireless link
+    /// (uplink serialization + queueing + inference + downlink).
+    Edge,
 }
 
 impl Delegate {
-    /// All delegates, in resource-index order (`N = 3` in the paper).
-    pub const ALL: [Delegate; 3] = [Delegate::Cpu, Delegate::Gpu, Delegate::Nnapi];
+    /// All delegates, in resource-index order. The paper's `N = 3`
+    /// on-device resources come first; `Edge` is appended at index 3 so
+    /// every existing 3-resource code path keeps its indices.
+    pub const ALL: [Delegate; 4] = [
+        Delegate::Cpu,
+        Delegate::Gpu,
+        Delegate::Nnapi,
+        Delegate::Edge,
+    ];
 
-    /// Number of allocatable resources.
-    pub const COUNT: usize = 3;
+    /// Number of allocatable resources (including the edge tier).
+    pub const COUNT: usize = 4;
 
     /// The resource index used by HBO's `c` vector (0 = CPU, 1 = GPU,
-    /// 2 = NNAPI).
+    /// 2 = NNAPI, 3 = Edge).
     pub fn index(self) -> usize {
         match self {
             Delegate::Cpu => 0,
             Delegate::Gpu => 1,
             Delegate::Nnapi => 2,
+            Delegate::Edge => 3,
         }
     }
 
@@ -35,17 +49,19 @@ impl Delegate {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= 3`.
+    /// Panics if `index >= 4`.
     pub fn from_index(index: usize) -> Delegate {
         Delegate::ALL[index]
     }
 
-    /// Short label used in the paper's figures (`C`, `G`, `N`).
+    /// Short label used in the paper's figures (`C`, `G`, `N`), extended
+    /// with `E` for the edge tier.
     pub fn letter(self) -> char {
         match self {
             Delegate::Cpu => 'C',
             Delegate::Gpu => 'G',
             Delegate::Nnapi => 'N',
+            Delegate::Edge => 'E',
         }
     }
 }
@@ -56,6 +72,7 @@ impl std::fmt::Display for Delegate {
             Delegate::Cpu => "CPU",
             Delegate::Gpu => "GPU",
             Delegate::Nnapi => "NNAPI",
+            Delegate::Edge => "EDGE",
         };
         f.write_str(s)
     }
@@ -111,17 +128,19 @@ mod tests {
         assert_eq!(Delegate::Cpu.letter(), 'C');
         assert_eq!(Delegate::Gpu.letter(), 'G');
         assert_eq!(Delegate::Nnapi.letter(), 'N');
+        assert_eq!(Delegate::Edge.letter(), 'E');
     }
 
     #[test]
     fn display_names() {
         assert_eq!(Delegate::Nnapi.to_string(), "NNAPI");
+        assert_eq!(Delegate::Edge.to_string(), "EDGE");
         assert_eq!(TaskKind::ImageSegmentation.to_string(), "IS");
     }
 
     #[test]
     #[should_panic]
     fn bad_index_panics() {
-        Delegate::from_index(3);
+        Delegate::from_index(4);
     }
 }

@@ -143,6 +143,11 @@ impl Model {
     ///   GPU compute stage.
     /// * **NNAPI** — copies around alternating NPU / GPU-fallback stages
     ///   according to [`NnapiStructure`].
+    ///
+    /// `Edge` never has an on-device plan: edge offload runs through the
+    /// `edgelink` wireless-link/edge-server simulation, not the SoC, so
+    /// this returns `None` for it (models never record an on-device
+    /// latency for the edge delegate).
     pub fn plan(
         &self,
         delegate: Delegate,
@@ -187,6 +192,9 @@ impl Model {
                 stages.push(Stage::delay(SimDuration::from_millis_f64(copy)));
                 stages
             }
+            // Unreachable: models never record an isolated latency for
+            // Edge, so `isolated_ms` above already returned `None`.
+            Delegate::Edge => return None,
         };
         Some(StageSeq::new(stages))
     }
@@ -246,7 +254,7 @@ mod tests {
         let m = sample();
         let dev = DeviceProfile::pixel7();
         let (_, procs) = dev.topology();
-        for d in Delegate::ALL {
+        for d in m.supported_delegates().collect::<Vec<_>>() {
             let plan = m.plan(d, &dev, procs).unwrap();
             let nominal = plan.nominal_total().as_millis_f64();
             let target = m.isolated_ms(d).unwrap();
@@ -312,7 +320,7 @@ mod tests {
         );
         let dev = DeviceProfile::pixel7();
         let (_, procs) = dev.topology();
-        for d in Delegate::ALL {
+        for d in m.supported_delegates().collect::<Vec<_>>() {
             let plan = m.plan(d, &dev, procs).unwrap();
             assert!((plan.nominal_total().as_millis_f64() - 1.0).abs() < 1e-6);
         }

@@ -50,6 +50,6 @@ mod topology;
 pub use job::{SourceId, SourceSpec, Stage, StageSeq, StreamId, StreamSpec};
 pub use power::{EnergyReport, PowerModel, ProcessorPower};
 pub use profiles::{DeviceProfile, RenderCost, SocProcs};
-pub use server::ServicePolicy;
+pub use server::{FifoServer, FifoStart, PsServer, ServicePolicy};
 pub use sim::{ProcessorMetrics, SocSim, SourceMetrics, StreamMetrics};
 pub use topology::{ProcId, ProcessorSpec, Topology};

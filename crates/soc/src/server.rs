@@ -4,6 +4,11 @@
 //! [`crate::SocSim`] calls into them and turns the returned actions
 //! (job starts, completions, next-check times) into events, which keeps the
 //! queueing logic independently testable.
+//!
+//! [`FifoServer`] and [`PsServer`] are generic in their job-key type and
+//! exported publicly so other discrete-event simulations (the `edgelink`
+//! wireless-link/edge-server crate) reuse the same queueing machinery with
+//! their own key types instead of re-deriving it.
 
 use std::collections::VecDeque;
 
@@ -46,23 +51,32 @@ pub(crate) struct JobKey {
 
 /// A job admitted to a FIFO slot; completion is firm (never preempted).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct FifoStart {
+pub struct FifoStart<K: Copy> {
+    /// The slot the job occupies until `done_at`.
     pub slot: usize,
-    pub key: JobKey,
+    /// The job that started.
+    pub key: K,
+    /// The firm completion time.
     pub done_at: SimTime,
 }
 
-/// Multi-slot FIFO server.
+/// Multi-slot FIFO server, generic in the job-key type `K`.
 #[derive(Debug)]
-pub(crate) struct FifoServer {
-    running: Vec<Option<JobKey>>,
-    queue: VecDeque<(JobKey, SimDuration)>,
+pub struct FifoServer<K: Copy> {
+    running: Vec<Option<K>>,
+    queue: VecDeque<(K, SimDuration)>,
     /// Time-weighted number of occupied slots (for utilization metrics).
     pub active: TimeWeighted,
+    /// Jobs completed so far.
     pub completed: u64,
 }
 
-impl FifoServer {
+impl<K: Copy> FifoServer<K> {
+    /// Creates a server with `slots` parallel lanes, idle at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
     pub fn new(slots: usize, start: SimTime) -> Self {
         assert!(slots > 0, "FIFO server needs at least one slot");
         FifoServer {
@@ -73,13 +87,19 @@ impl FifoServer {
         }
     }
 
+    /// Number of jobs waiting (not counting those running in slots).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
     }
 
+    /// Number of jobs currently occupying slots.
+    pub fn running_len(&self) -> usize {
+        self.running.iter().filter(|s| s.is_some()).count()
+    }
+
     /// Submits a job. If a slot is free the job starts immediately and its
     /// firm completion is returned; otherwise it waits in the queue.
-    pub fn enqueue(&mut self, now: SimTime, key: JobKey, work: SimDuration) -> Option<FifoStart> {
+    pub fn enqueue(&mut self, now: SimTime, key: K, work: SimDuration) -> Option<FifoStart<K>> {
         if let Some(slot) = self.running.iter().position(Option::is_none) {
             self.running[slot] = Some(key);
             self.active.add(now, 1.0);
@@ -101,7 +121,7 @@ impl FifoServer {
     ///
     /// Panics if the slot is empty (a completion event without a running
     /// job is a simulator bug).
-    pub fn on_done(&mut self, now: SimTime, slot: usize) -> (JobKey, Option<FifoStart>) {
+    pub fn on_done(&mut self, now: SimTime, slot: usize) -> (K, Option<FifoStart<K>>) {
         let finished = self.running[slot]
             .take()
             .expect("FIFO completion for an empty slot");
@@ -125,10 +145,10 @@ impl FifoServer {
 
 /// Egalitarian processor-sharing server: `n` resident jobs each progress at
 /// rate `1/n`. Simulated exactly by re-deriving the next completion time on
-/// every membership change.
+/// every membership change. Generic in the job-key type `K`.
 #[derive(Debug)]
-pub(crate) struct PsServer {
-    jobs: Vec<PsJob>,
+pub struct PsServer<K: Copy> {
+    jobs: Vec<PsJob<K>>,
     last_update: SimTime,
     /// Bumped on every membership change; stale check events are discarded
     /// by comparing generations.
@@ -138,12 +158,13 @@ pub(crate) struct PsServer {
     /// Time-weighted 0/1 busy indicator (any job resident) — the engine's
     /// actual utilization, unlike `active`, which counts residency.
     pub busy: TimeWeighted,
+    /// Jobs completed so far.
     pub completed: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct PsJob {
-    key: JobKey,
+struct PsJob<K: Copy> {
+    key: K,
     /// Remaining dedicated service time, in seconds.
     remaining: f64,
 }
@@ -152,7 +173,8 @@ struct PsJob {
 /// rounding of scheduled check times).
 const PS_EPSILON: f64 = 1e-9;
 
-impl PsServer {
+impl<K: Copy> PsServer<K> {
+    /// Creates an idle server at `start`.
     pub fn new(start: SimTime) -> Self {
         PsServer {
             jobs: Vec::new(),
@@ -164,6 +186,7 @@ impl PsServer {
         }
     }
 
+    /// Number of resident jobs.
     pub fn resident(&self) -> usize {
         self.jobs.len()
     }
@@ -198,7 +221,7 @@ impl PsServer {
     }
 
     /// Adds a job; returns the new next-check time. Bumps the generation.
-    pub fn enqueue(&mut self, now: SimTime, key: JobKey, work: SimDuration) -> Option<SimTime> {
+    pub fn enqueue(&mut self, now: SimTime, key: K, work: SimDuration) -> Option<SimTime> {
         self.advance(now);
         if self.jobs.is_empty() {
             self.busy.set(now, 1.0);
@@ -215,7 +238,7 @@ impl PsServer {
     /// Processes a check event: completes every job whose remaining work is
     /// within [`PS_EPSILON`], returning the finished jobs and the next
     /// check time. Bumps the generation iff membership changed.
-    pub fn on_check(&mut self, now: SimTime) -> (Vec<JobKey>, Option<SimTime>) {
+    pub fn on_check(&mut self, now: SimTime) -> (Vec<K>, Option<SimTime>) {
         self.advance(now);
         let mut finished = Vec::new();
         self.jobs.retain(|j| {

@@ -153,8 +153,8 @@ pub struct ProcessorMetrics {
 }
 
 enum ServerImpl {
-    Fifo(FifoServer),
-    Ps(PsServer),
+    Fifo(FifoServer<JobKey>),
+    Ps(PsServer<JobKey>),
 }
 
 struct StreamState {

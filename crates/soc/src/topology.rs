@@ -1,4 +1,14 @@
 //! Processor topology description.
+//!
+//! # Id visibility
+//!
+//! [`ProcId`]s are deliberately only minted by this module: callers obtain
+//! them from [`Topology::add_processor`], [`Topology::proc_by_name`], or the
+//! iterators ([`Topology::iter`], [`Topology::proc_ids`]). The inner index
+//! stays `pub(crate)` so an id can never be fabricated for a topology it
+//! does not belong to; external crates (e.g. `edgelink`, which builds
+//! per-client device topologies) enumerate processors through the public
+//! iterators instead of constructing raw indices.
 
 use crate::server::ServicePolicy;
 
@@ -109,6 +119,14 @@ impl Topology {
             .map(|(i, s)| (ProcId(i), s))
     }
 
+    /// Iterates over all processor ids, in insertion order.
+    ///
+    /// This is the sanctioned way for other crates to enumerate processors
+    /// without access to `ProcId`'s private index (see the module docs).
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.processors.len()).map(ProcId)
+    }
+
     /// Checks that `id` belongs to this topology.
     pub fn contains(&self, id: ProcId) -> bool {
         id.0 < self.processors.len()
@@ -129,6 +147,7 @@ mod tests {
         assert_eq!(t.proc_by_name("npu"), None);
         assert!(t.contains(a));
         assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.proc_ids().collect::<Vec<_>>(), vec![a, b]);
     }
 
     #[test]

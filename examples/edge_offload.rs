@@ -1,0 +1,53 @@
+//! Edge offloading: a four-client MAR session whose allocation flips from
+//! on-device to the edge server as the wireless uplink improves.
+//!
+//! ```text
+//! cargo run --release --example edge_offload
+//! ```
+//!
+//! Each bandwidth runs one HBO activation with **Edge** as a fourth
+//! allocation target (the link + shared server are simulated by the
+//! `edgelink` crate). On a starved uplink HBO keeps the AI tasks on the
+//! phone and pays with triangle decimation; once the uplink is fast
+//! enough, offloading frees the SoC and the scene can keep more quality.
+
+use hbo_suite::prelude::*;
+use marsim::edge::{run_edge_hbo, EdgeSpec};
+
+fn main() {
+    let base = ScenarioSpec::sc1_cf2();
+    let config = HboConfig::default();
+    println!(
+        "scenario {}, 4 clients sharing one edge server\n",
+        base.name
+    );
+    println!(
+        "{:>12}  {:>10}  {:>6}  {:>8}  {:>8}  {:>8}",
+        "uplink", "allocation", "x", "quality", "epsilon", "reward"
+    );
+    for mbps in [2.0, 10.0, 50.0, 200.0] {
+        let spec = base
+            .clone()
+            .with_edge(EdgeSpec::wifi(4).with_uplink_mbps(mbps));
+        let run = run_edge_hbo(&spec, &config, 2024);
+        let best = &run.best;
+        let alloc: String = best.point.allocation.iter().map(|d| d.letter()).collect();
+        let edge_share = best
+            .point
+            .allocation
+            .iter()
+            .filter(|&&d| d == Delegate::Edge)
+            .count();
+        println!(
+            "{:>9} Mbps  {:>10}  {:>6.2}  {:>8.3}  {:>8.3}  {:>8.3}   ({edge_share}/{} tasks on edge)",
+            mbps,
+            alloc,
+            best.point.x,
+            best.quality,
+            best.epsilon,
+            hbo_core::reward(best.quality, best.epsilon, config.w),
+            best.point.allocation.len(),
+        );
+    }
+    println!("\nallocation letters: C=CPU G=GPU N=NNAPI E=edge server");
+}

@@ -26,6 +26,15 @@ echo "==> runner smoke: explore --replicates 4 --threads 2"
 cargo run --release --offline -q -p hbo-bench --bin explore -- \
   SC2-CF2 --iterations 2 --initial 2 --replicates 4 --threads 2
 
+# Edge smoke: the edgelink-backed sweep on 2 worker threads — exercises
+# the wireless-link + edge-server DES, the Edge delegate end-to-end
+# (allocation, cost model, HBO 4-resource space), and the runner's
+# parallel path in one go. Determinism of the emitted rows against the
+# serial path is pinned by tests/end_to_end.rs.
+echo "==> edge smoke: edge_offload --smoke --threads 2"
+cargo run --release --offline -q -p hbo-bench --bin edge_offload -- \
+  --smoke --threads 2 >/dev/null
+
 # Bench smoke: a tiny-N run of the kernels bench must still emit a
 # parseable BENCH_kernels.json at the repo root, so the tracked perf
 # baseline can't silently rot when bench fixtures or the harness change.

@@ -200,3 +200,53 @@ fn isolated_profiles_match_the_zoo_on_both_devices() {
         }
     }
 }
+
+/// Golden regression pin (ISSUE 4, satellite c): one small `edge_offload`
+/// cell's JSON rows, bit-for-bit. The whole pipeline behind these lines —
+/// SoC DES, wireless link + edge server DES, HBO over the 4-resource
+/// space, and the hand-rolled JSON — must stay deterministic for the pin
+/// to hold.
+#[test]
+fn edge_offload_golden_cell_is_pinned() {
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 2,
+        ..HboConfig::default()
+    };
+    let rows = marsim::edge::sweep_cell(&ScenarioSpec::sc2_cf2(), 2, 50.0, &config, 42);
+    let golden = [
+        "{\"sweep\":\"edge_offload\",\"scenario\":\"SC2-CF2\",\"clients\":2,\"uplink_mbps\":50.000,\"system\":\"local-only\",\"alloc\":\"GNN\",\"x\":1.000000,\"quality\":1.000000,\"epsilon\":0.186885,\"reward\":0.532789,\"edge\":null}",
+        "{\"sweep\":\"edge_offload\",\"scenario\":\"SC2-CF2\",\"clients\":2,\"uplink_mbps\":50.000,\"system\":\"edge-only\",\"alloc\":\"EEE\",\"x\":1.000000,\"quality\":1.000000,\"epsilon\":0.649189,\"reward\":-0.622972,\"edge\":{\"p95_ms\":18.942946,\"mean_ms\":15.818202,\"completed\":244,\"rejected\":0,\"avg_busy_lanes\":0.125282}}",
+        "{\"sweep\":\"edge_offload\",\"scenario\":\"SC2-CF2\",\"clients\":2,\"uplink_mbps\":50.000,\"system\":\"hbo-joint\",\"alloc\":\"GEE\",\"x\":0.736836,\"quality\":0.907228,\"epsilon\":0.016605,\"reward\":0.865715,\"edge\":{\"p95_ms\":19.408982,\"mean_ms\":16.365485,\"completed\":158,\"rejected\":0,\"avg_busy_lanes\":0.108445}}",
+    ];
+    assert_eq!(rows, golden, "edge_offload golden cell drifted");
+    // In this cell HBO-joint also dominates both fixed policies on the
+    // paper's QoE objective (acceptance criterion).
+    let reward = |i: usize| {
+        let tail = rows[i].split("\"reward\":").nth(1).unwrap();
+        tail.split(',').next().unwrap().parse::<f64>().unwrap()
+    };
+    assert!(reward(2) > reward(0) && reward(2) > reward(1));
+}
+
+/// The `edge_offload` sweep is bit-identical for any worker-thread count
+/// (ISSUE 4: serial == parallel for the runner-backed sweep).
+#[test]
+fn edge_offload_sweep_identical_across_thread_counts() {
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 1,
+        ..HboConfig::default()
+    };
+    let base = ScenarioSpec::sc2_cf2();
+    let cells = [(1usize, 25.0f64), (3, 25.0), (2, 100.0)];
+    let sweep = |threads: usize| {
+        let (rows, _) = marsim::runner::run_map("edge_det", threads, &cells, |i, &(n, b)| {
+            marsim::edge::sweep_cell(&base, n, b, &config, marsim::runner::job_seed(9, i as u64))
+        });
+        rows
+    };
+    let serial = sweep(1);
+    assert_eq!(serial, sweep(2));
+    assert_eq!(serial, sweep(4));
+}
