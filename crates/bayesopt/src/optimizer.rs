@@ -1,6 +1,8 @@
 //! The Bayesian-optimization loop: suggest → evaluate → observe.
 
 use simcore::rand::RngCore;
+use simcore::trace::{ArgValue, Tracer, TrackId};
+use simcore::SimTime;
 
 use crate::acquisition::Acquisition;
 use crate::gp::GaussianProcess;
@@ -59,6 +61,9 @@ pub struct BoOptimizer<S> {
     config: BoConfig,
     observations: Vec<(Vec<f64>, f64)>,
     surrogate: GaussianProcess,
+    tracer: Tracer,
+    trace_track: Option<TrackId>,
+    trace_now: SimTime,
 }
 
 impl<S: SampleSpace> BoOptimizer<S> {
@@ -77,7 +82,27 @@ impl<S: SampleSpace> BoOptimizer<S> {
             config,
             observations: Vec::new(),
             surrogate: GaussianProcess::new(config.kernel, config.noise_var),
+            tracer: Tracer::disabled(),
+            trace_track: None,
+            trace_now: SimTime::ZERO,
         }
+    }
+
+    /// Installs a tracer and registers the optimizer's `bo suggest` track.
+    ///
+    /// The optimizer runs in wall time, outside the simulation clock, so
+    /// trace records are stamped with the simulated time last supplied via
+    /// [`Self::set_trace_now`] (typically the start of the HBO window that
+    /// triggered the suggestion). Tracing never touches the RNG stream:
+    /// suggestions are bit-identical with tracing on or off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.trace_track = Some(tracer.register_track("bo", "bo suggest"));
+        self.tracer = tracer;
+    }
+
+    /// Sets the simulated timestamp applied to subsequent trace records.
+    pub fn set_trace_now(&mut self, now: SimTime) {
+        self.trace_now = now;
     }
 
     /// The sample space.
@@ -123,13 +148,25 @@ impl<S: SampleSpace> BoOptimizer<S> {
     /// sampling if the surrogate cannot be fitted.
     pub fn suggest(&mut self, rng: &mut dyn RngCore) -> Vec<f64> {
         if self.observations.len() < self.config.n_initial {
-            return self.space.sample(rng);
+            let z = self.space.sample(rng);
+            self.trace_instant("random design", &z, f64::NAN);
+            return z;
         }
         // Refit the persistent surrogate: a no-op if nothing was observed
         // since the last suggest, an O(K²) factor extension per new
         // observation otherwise.
-        if self.surrogate.fit().is_err() {
-            return self.space.sample(rng);
+        let fit_ok = self.surrogate.fit().is_ok();
+        self.trace_span(
+            "fit",
+            &[
+                ("observations", ArgValue::from(self.observations.len())),
+                ("ok", ArgValue::from(u64::from(fit_ok))),
+            ],
+        );
+        if !fit_ok {
+            let z = self.space.sample(rng);
+            self.trace_instant("fit fallback", &z, f64::NAN);
+            return z;
         }
         let f_best = self.surrogate.best_observed().expect("non-empty history");
         let incumbent = self
@@ -174,7 +211,57 @@ impl<S: SampleSpace> BoOptimizer<S> {
                 best_idx = i;
             }
         }
-        candidates.swap_remove(best_idx)
+        self.trace_span(
+            "score",
+            &[
+                ("candidates", ArgValue::from(total)),
+                ("best_acq", ArgValue::from(scores[best_idx])),
+            ],
+        );
+        let chosen = candidates.swap_remove(best_idx);
+        self.trace_instant("chosen", &chosen, scores[best_idx]);
+        chosen
+    }
+
+    /// Emits a zero-duration span on the `bo suggest` track (no-op when the
+    /// tracer is disabled).
+    fn trace_span(&self, name: &str, args: &[(&'static str, ArgValue)]) {
+        if let Some(track) = self.trace_track {
+            if self.tracer.is_enabled() {
+                self.tracer.complete(
+                    self.trace_now,
+                    simcore::SimDuration::from_nanos(0),
+                    track,
+                    "bo",
+                    name,
+                    args,
+                );
+            }
+        }
+    }
+
+    /// Emits an instant on the `bo suggest` track carrying the proposed
+    /// point (no-op when the tracer is disabled).
+    fn trace_instant(&self, name: &str, z: &[f64], acq: f64) {
+        if let Some(track) = self.trace_track {
+            if self.tracer.is_enabled() {
+                let point = z
+                    .iter()
+                    .map(|v| format!("{v:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                self.tracer.instant(
+                    self.trace_now,
+                    track,
+                    "bo",
+                    name,
+                    &[
+                        ("point", ArgValue::from(point)),
+                        ("acq", ArgValue::from(acq)),
+                    ],
+                );
+            }
+        }
     }
 
     /// Records the measured cost of a point (line 26 of Algorithm 1:
@@ -367,6 +454,48 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(run(threads), serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn tracing_does_not_change_suggestions_and_captures_spans() {
+        use simcore::trace::{ChromeTraceSink, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run = |traced: bool| {
+            let space = BoxSpace::new(vec![(0.0, 1.0), (0.0, 1.0)]);
+            let mut bo = BoOptimizer::new(space, BoConfig::default());
+            let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+            if traced {
+                bo.set_tracer(Tracer::with_sink(Rc::clone(&sink)));
+            }
+            let mut r = rng(17);
+            let mut points = Vec::new();
+            for i in 0..8 {
+                bo.set_trace_now(SimTime::ZERO + simcore::SimDuration::from_millis_f64(i as f64));
+                let z = bo.suggest(&mut r);
+                let cost = (z[0] - 0.3).powi(2) + z[1];
+                bo.observe(z.clone(), cost);
+                points.push(z);
+            }
+            let snapshot = sink.borrow().snapshot();
+            (points, snapshot)
+        };
+        let (plain, empty) = run(false);
+        let (traced, buffer) = run(true);
+        assert_eq!(plain, traced, "tracing must not perturb the RNG stream");
+        assert!(empty.records.is_empty());
+        // 5 random-design instants, then 3 surrogate suggests each emitting
+        // fit span + score span + chosen instant.
+        assert_eq!(buffer.records.len(), 5 + 3 * 3);
+        assert!(buffer
+            .records
+            .iter()
+            .any(|r| r.cat == "bo" && r.name == "fit"));
+        assert!(buffer
+            .records
+            .iter()
+            .any(|r| r.cat == "bo" && r.name == "chosen"));
     }
 
     #[test]

@@ -173,6 +173,60 @@ fn bench_substrates(h: &mut Harness) {
         |mut app| app.run_for_secs(1.0),
     );
 
+    // Tracing overhead on the same one-second SC1-CF1 workload, all three
+    // sink configurations in one run so their deltas are same-conditions:
+    //
+    // * `disabled` — `Tracer::disabled()`, the same path as
+    //   `socsim_sc1cf1_1s` above. Their delta is the noise floor; any
+    //   eager work sneaking in ahead of an `is_enabled` check shows up
+    //   here (EXPERIMENTS.md requires ≤ 2%).
+    // * `null` — a sink is installed, so every instrumentation site fires
+    //   and builds its record, but `NullSink` discards it: the record-
+    //   construction cost alone.
+    // * `chrome` — full in-memory buffering of every span/counter.
+    h.bench_batched(
+        "trace_overhead_disabled_1s",
+        || {
+            let mut app = marsim::MarApp::new_traced(
+                &marsim::ScenarioSpec::sc1_cf1(),
+                simcore::trace::Tracer::disabled(),
+            );
+            app.place_all_objects();
+            app
+        },
+        |mut app| app.run_for_secs(1.0),
+    );
+    h.bench_batched(
+        "trace_overhead_null_1s",
+        || {
+            let mut app = marsim::MarApp::new_traced(
+                &marsim::ScenarioSpec::sc1_cf1(),
+                simcore::trace::Tracer::new(simcore::trace::NullSink),
+            );
+            app.place_all_objects();
+            app
+        },
+        |mut app| app.run_for_secs(1.0),
+    );
+    h.bench_batched(
+        "trace_overhead_chrome_1s",
+        || {
+            let sink = std::rc::Rc::new(std::cell::RefCell::new(
+                simcore::trace::ChromeTraceSink::new(),
+            ));
+            let mut app = marsim::MarApp::new_traced(
+                &marsim::ScenarioSpec::sc1_cf1(),
+                simcore::trace::Tracer::with_sink(std::rc::Rc::clone(&sink)),
+            );
+            app.place_all_objects();
+            (app, sink)
+        },
+        |(mut app, sink)| {
+            app.run_for_secs(1.0);
+            black_box(sink.borrow().len())
+        },
+    );
+
     // Wireless link + edge server DES: one simulated second of an
     // 8-client closed-loop session against a 2-lane server.
     h.bench_batched(

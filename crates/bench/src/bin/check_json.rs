@@ -1,0 +1,81 @@
+//! In-tree Chrome trace-event JSON validator (no serialization crate;
+//! hermetic build). CI uses it to smoke-check `--trace` output:
+//!
+//! ```text
+//! check_json PATH [--require-cat CAT]...
+//! ```
+//!
+//! Parses `PATH` with [`simcore::trace::chrome_trace_stats`], prints a
+//! one-line summary, and exits nonzero when the file is not valid Chrome
+//! trace JSON or a `--require-cat` category has no spans.
+
+use simcore::trace::chrome_trace_stats;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut required: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--require-cat" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(cat) => required.push(cat),
+                    None => {
+                        eprintln!("error: missing value for --require-cat");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => {
+                eprintln!("error: unexpected argument {other}");
+                eprintln!("usage: check_json PATH [--require-cat CAT]...");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: check_json PATH [--require-cat CAT]...");
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = match chrome_trace_stats(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path} is not valid Chrome trace JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cats: Vec<String> = stats
+        .span_cats
+        .iter()
+        .map(|(c, n)| format!("{c}:{n}"))
+        .collect();
+    println!(
+        "{path}: {} events, {} spans, {} counters [{}]",
+        stats.events,
+        stats.spans,
+        stats.counters,
+        cats.join(" ")
+    );
+    let mut missing = false;
+    for cat in required {
+        if stats.spans_in_cat(cat) == 0 {
+            eprintln!("error: no '{cat}' spans in {path}");
+            missing = true;
+        }
+    }
+    if missing {
+        std::process::exit(1);
+    }
+}

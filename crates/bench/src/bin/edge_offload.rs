@@ -3,19 +3,28 @@
 //! space).
 //!
 //! ```text
-//! edge_offload [--smoke] [--seed N] [--threads T]
+//! edge_offload [--smoke] [--seed N] [--threads T] [--trace PATH]
 //! ```
 //!
 //! Emits one JSON line per `(cell, system)` row plus the runner report.
 //! Cells run on the deterministic parallel runner: each cell's seed
 //! derives from `(--seed, cell index)`, so the row set is bit-identical
 //! for any `--threads` setting and across runs.
+//!
+//! With `--trace PATH` every cell's HBO activation records a span/counter
+//! trace (one Chrome `pid` per cell, in cell order) written to `PATH` as
+//! Chrome trace-event JSON; the emitted rows stay byte-identical, and the
+//! runner report gains the merged telemetry totals across cells.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use hbo_bench::harness;
 use hbo_core::HboConfig;
-use marsim::edge::sweep_cell;
+use marsim::edge::sweep_cell_traced;
 use marsim::runner::{self, job_seed};
-use marsim::ScenarioSpec;
+use marsim::{ScenarioSpec, TelemetrySummary};
+use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceBuffer, TraceJob, Tracer};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +35,11 @@ fn main() {
         .and_then(|i| argv.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(2024);
+    let trace_path: Option<String> = argv
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
     let threads = runner::threads_from_args();
 
     // SC1 is the heavy scene (decimation matters), CF2 keeps the taskset
@@ -50,13 +64,58 @@ fn main() {
         .iter()
         .flat_map(|&n| bandwidths.iter().map(move |&b| (n, b)))
         .collect();
-    let (rows, report) = runner::run_map("edge_offload", threads, &cells, |i, &(clients, mbps)| {
-        sweep_cell(&base, clients, mbps, &config, job_seed(seed, i as u64))
-    });
-    for cell_rows in &rows {
-        for row in cell_rows {
+    let traced = trace_path.is_some();
+    type CellOutcome = (Vec<String>, TelemetrySummary, Option<TraceBuffer>);
+    let (outcomes, mut report): (Vec<CellOutcome>, _) =
+        runner::run_map("edge_offload", threads, &cells, |i, &(clients, mbps)| {
+            let cell_seed = job_seed(seed, i as u64);
+            if traced {
+                let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+                let (rows, telemetry) = sweep_cell_traced(
+                    &base,
+                    clients,
+                    mbps,
+                    &config,
+                    cell_seed,
+                    Tracer::with_sink(Rc::clone(&sink)),
+                );
+                let buffer = sink.borrow().snapshot();
+                (rows, telemetry, Some(buffer))
+            } else {
+                let (rows, telemetry) =
+                    sweep_cell_traced(&base, clients, mbps, &config, cell_seed, Tracer::disabled());
+                (rows, telemetry, None)
+            }
+        });
+    for (rows, _, _) in &outcomes {
+        for row in rows {
             println!("{row}");
         }
     }
+    // Merge per-cell telemetry totals in cell order (deterministic for
+    // any thread count) into the runner report.
+    let mut telemetry = TelemetrySummary::default();
+    for (_, t, _) in &outcomes {
+        telemetry.merge(t);
+    }
+    report.telemetry = Some(telemetry);
     harness::emit_runner_report(&report);
+
+    if let Some(path) = trace_path {
+        let jobs: Vec<TraceJob> = outcomes
+            .iter()
+            .zip(&cells)
+            .filter_map(|((_, _, trace), &(clients, mbps))| {
+                trace.as_ref().map(|buffer| TraceJob {
+                    name: format!("c{clients} {mbps}mbps"),
+                    buffer: buffer.clone(),
+                })
+            })
+            .collect();
+        if let Err(e) = std::fs::write(&path, chrome_trace_json(&jobs)) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace written to {path}");
+    }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! explore [SCENARIO] [--seed N] [--weight W] [--iterations K] [--initial M]
 //!         [--device pixel7|s22] [--distance D] [--baselines]
-//!         [--replicates R] [--threads T]
+//!         [--replicates R] [--threads T] [--trace PATH]
 //!
 //! SCENARIO: SC1-CF1 (default) | SC2-CF1 | SC1-CF2 | SC2-CF2
 //! ```
@@ -15,6 +15,14 @@
 //! bit-identical for any `--threads` setting, and the merged best-cost /
 //! convergence statistics are printed alongside the per-replicate bests.
 //!
+//! With `--trace PATH` the activation (or every replicate of the sweep)
+//! records a deterministic span/counter trace and writes it to `PATH` as
+//! Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+//! Tracing changes no published output: the printed iterations, bests,
+//! and merged statistics are bit-identical with and without `--trace`,
+//! and the trace file itself is byte-identical across reruns and
+//! `--threads` settings. `--trace` is ignored under `--baselines`.
+//!
 //! Examples:
 //!
 //! ```text
@@ -23,11 +31,15 @@
 //! cargo run --release -p hbo-bench --bin explore -- SC2-CF2 --replicates 8 --threads 4
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use hbo_bench::harness;
 use hbo_core::{Baseline, HboConfig};
-use marsim::experiment::{compare_baselines, run_hbo};
+use marsim::experiment::{compare_baselines, run_hbo, run_hbo_traced};
 use marsim::runner::{self, SweepJob};
 use marsim::ScenarioSpec;
+use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceJob, Tracer};
 
 struct Args {
     scenario: String,
@@ -40,6 +52,7 @@ struct Args {
     baselines: bool,
     replicates: usize,
     threads: Option<usize>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         baselines: false,
         replicates: 1,
         threads: None,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -103,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("threads: {e}"))?,
                 )
             }
+            "--trace" => args.trace = Some(value(&mut i)?),
             "--help" | "-h" => return Err("help".to_owned()),
             other if !other.starts_with('-') => args.scenario = other.to_owned(),
             other => return Err(format!("unknown flag {other}")),
@@ -116,7 +131,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: explore [SC1-CF1|SC2-CF1|SC1-CF2|SC2-CF2] [--seed N] [--weight W]\n\
          \x20              [--iterations K] [--initial M] [--device pixel7|s22]\n\
-         \x20              [--distance D] [--baselines] [--replicates R] [--threads T]"
+         \x20              [--distance D] [--baselines] [--replicates R] [--threads T]\n\
+         \x20              [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -136,6 +152,14 @@ fn print_best(run: &marsim::experiment::HboRunResult) {
         run.best.cost,
         run.iterations_to_converge()
     );
+}
+
+fn write_trace(path: &str, json: &str) {
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("trace written to {path}");
 }
 
 fn main() {
@@ -210,7 +234,8 @@ fn main() {
         let jobs: Vec<SweepJob> = (0..args.replicates)
             .map(|r| SweepJob::derived(format!("rep{}", r + 1), spec.clone(), config.clone()))
             .collect();
-        let sweep = runner::run_sweep("explore", jobs, args.seed, threads);
+        let sweep =
+            runner::run_sweep_traced("explore", jobs, args.seed, threads, args.trace.is_some());
         for o in &sweep.outcomes {
             print!("{} (seed {:>20}) ", o.label, o.seed);
             print_best(&o.run);
@@ -228,8 +253,28 @@ fn main() {
             );
         }
         harness::emit_runner_report(&sweep.report);
+        if let Some(path) = &args.trace {
+            let json = sweep.trace_json().expect("traced sweep has buffers");
+            write_trace(path, &json);
+        }
     } else {
-        let run = run_hbo(&spec, &config, args.seed);
+        let run = if let Some(path) = &args.trace {
+            let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+            let run = run_hbo_traced(
+                &spec,
+                &config,
+                args.seed,
+                Tracer::with_sink(Rc::clone(&sink)),
+            );
+            let job = TraceJob {
+                name: spec.name.clone(),
+                buffer: sink.borrow().snapshot(),
+            };
+            write_trace(path, &chrome_trace_json(&[job]));
+            run
+        } else {
+            run_hbo(&spec, &config, args.seed)
+        };
         for (i, r) in run.records.iter().enumerate() {
             println!(
                 "iter {:>2}: x={:.2} alloc={} Q={:.3} eps={:.3} cost={:+.3}",

@@ -291,6 +291,19 @@ impl HboController {
         self.bo.reset();
         self.records.clear();
     }
+
+    /// Installs a tracer on the inner Bayesian optimizer (per-suggest
+    /// fit / acquisition-scoring / chosen-point spans on the `bo suggest`
+    /// track). Tracing never touches the RNG stream.
+    pub fn set_tracer(&mut self, tracer: simcore::trace::Tracer) {
+        self.bo.set_tracer(tracer);
+    }
+
+    /// Sets the simulated timestamp stamped onto subsequent BO trace
+    /// records (the optimizer itself runs in wall time).
+    pub fn set_trace_now(&mut self, now: simcore::SimTime) {
+        self.bo.set_trace_now(now);
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 
 use simcore::rng::mix;
 use simcore::stats::{LogHistogram, Running};
+use simcore::trace::{ArgValue, Tracer, TrackId};
 use simcore::{Scheduler, SimDuration, SimTime, Simulator};
 
 use crate::link::{plan_transfer, ByteCounters, Direction, LinkParams};
@@ -78,6 +79,9 @@ pub struct FlowMetrics {
     /// Admission rejections this flow absorbed (each costs one retry
     /// timeout).
     pub rejections: u64,
+    /// Link-layer retransmissions across both directions (attempts
+    /// beyond the first per transfer).
+    pub retransmits: u64,
 }
 
 impl Default for FlowMetrics {
@@ -90,6 +94,7 @@ impl Default for FlowMetrics {
             uplink: ByteCounters::default(),
             downlink: ByteCounters::default(),
             rejections: 0,
+            retransmits: 0,
         }
     }
 }
@@ -182,6 +187,20 @@ struct ClientState {
     metrics: FlowMetrics,
 }
 
+/// Trace track ids for the edge world. All zeros when tracing is
+/// disabled.
+#[derive(Debug, Default)]
+struct EdgeTraceIds {
+    /// Per client: uplink radio-lane span track.
+    up: Vec<TrackId>,
+    /// Per client: downlink radio-lane span track.
+    down: Vec<TrackId>,
+    /// Per server worker lane: inference span track.
+    lanes: Vec<TrackId>,
+    /// Track carrying the admission-queue and rejection counters.
+    server_track: TrackId,
+}
+
 /// The whole edge world state (everything but the event queue).
 #[derive(Debug)]
 struct EdgeState {
@@ -189,6 +208,10 @@ struct EdgeState {
     server: EdgeServer<ReqKey>,
     clients: Vec<ClientState>,
     master_seed: u64,
+    /// Peak admission-queue depth observed so far.
+    peak_queue: usize,
+    tracer: Tracer,
+    trace: EdgeTraceIds,
 }
 
 /// The multi-client edge-offload simulator.
@@ -214,6 +237,23 @@ impl EdgeSim {
         clients: Vec<ClientSpec>,
         master_seed: u64,
     ) -> Self {
+        Self::new_traced(link, server, clients, master_seed, Tracer::disabled())
+    }
+
+    /// Like [`EdgeSim::new`], but with a tracer: each client's uplink and
+    /// downlink radio and each edge worker lane get their own span track;
+    /// the admission queue and rejections are traced as counters.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`EdgeSim::new`].
+    pub fn new_traced(
+        link: LinkParams,
+        server: ServerParams,
+        clients: Vec<ClientSpec>,
+        master_seed: u64,
+        tracer: Tracer,
+    ) -> Self {
         link.validate();
         assert!(!clients.is_empty(), "need at least one client");
         let mut sim = Simulator::new();
@@ -233,6 +273,21 @@ impl EdgeSim {
                 metrics: FlowMetrics::default(),
             })
             .collect();
+        let mut trace = EdgeTraceIds::default();
+        for st in &states {
+            trace
+                .up
+                .push(tracer.register_track("edgelink", &format!("{} up", st.spec.label)));
+            trace
+                .down
+                .push(tracer.register_track("edgelink", &format!("{} down", st.spec.label)));
+        }
+        for lane in 0..server.worker_lanes {
+            trace
+                .lanes
+                .push(tracer.register_track("edgelink", &format!("edge lane{lane}")));
+        }
+        trace.server_track = tracer.register_track("edgelink", "edge admission");
         for (client, st) in states.iter().enumerate() {
             let jitter = jitter_ns(master_seed, client, 0, st.spec.jitter_ms);
             sim.schedule(
@@ -247,6 +302,9 @@ impl EdgeSim {
                 server: EdgeServer::new(server, start),
                 clients: states,
                 master_seed,
+                peak_queue: 0,
+                tracer,
+                trace,
             },
         }
     }
@@ -305,6 +363,21 @@ impl EdgeSim {
     pub fn in_flight(&self) -> usize {
         self.state.clients.iter().map(|c| c.submitted.len()).sum()
     }
+
+    /// Peak admission-queue depth observed so far.
+    pub fn peak_queue(&self) -> usize {
+        self.state.peak_queue
+    }
+
+    /// Total link-layer retransmissions across all flows and both
+    /// directions.
+    pub fn total_retransmits(&self) -> u64 {
+        self.state
+            .clients
+            .iter()
+            .map(|c| c.metrics.retransmits)
+            .sum()
+    }
 }
 
 /// Deterministic jitter draw in nanoseconds for `(client, seq)`.
@@ -356,7 +429,8 @@ impl EdgeState {
             flow_seed,
             seq,
         );
-        if let Some(start) = st.uplink.enqueue(now, seq, plan.occupancy) {
+        let started = st.uplink.enqueue(now, seq, plan.occupancy);
+        if let Some(start) = started {
             sched.schedule_at(
                 start.done_at,
                 Ev::LaneDone {
@@ -365,6 +439,9 @@ impl EdgeState {
                     slot: start.slot,
                 },
             );
+        }
+        if started.is_some() && self.tracer.is_enabled() {
+            self.trace_lane_begin(now, client, Direction::Up, seq);
         }
     }
 
@@ -397,6 +474,9 @@ impl EdgeState {
             Direction::Down => &mut st.metrics.downlink,
         };
         counters.transmitted += plan.attempts as u64 * bytes;
+        if plan.attempts > 1 {
+            st.metrics.retransmits += plan.attempts as u64 - 1;
+        }
         let last = match dir {
             Direction::Up => &mut st.last_up_delivery,
             Direction::Down => &mut st.last_down_delivery,
@@ -406,6 +486,39 @@ impl EdgeState {
         let arrive = (now + plan.propagation).max(*last);
         *last = arrive;
         sched.schedule_at(arrive, Ev::Arrived { client, dir, seq });
+        if self.tracer.is_enabled() {
+            let track = match dir {
+                Direction::Up => self.trace.up[client],
+                Direction::Down => self.trace.down[client],
+            };
+            self.tracer.end(now, track, "edgelink");
+            if let Some(start) = next {
+                self.trace_lane_begin(now, client, dir, start.key);
+            }
+        }
+    }
+
+    /// Emits the begin-span for a transfer occupying a radio lane,
+    /// re-deriving its (pure) plan for the retransmit-attempt argument.
+    /// Only called when tracing is enabled.
+    fn trace_lane_begin(&self, now: SimTime, client: usize, dir: Direction, seq: u64) {
+        let st = &self.clients[client];
+        let (bytes, track, name) = match dir {
+            Direction::Up => (st.spec.request_bytes, self.trace.up[client], "up"),
+            Direction::Down => (st.spec.response_bytes, self.trace.down[client], "down"),
+        };
+        let plan = plan_transfer(&self.link, dir, bytes, self.flow_seed(client, dir), seq);
+        self.tracer.begin(
+            now,
+            track,
+            "edgelink",
+            name,
+            &[
+                ("seq", ArgValue::U64(seq)),
+                ("bytes", ArgValue::U64(bytes)),
+                ("attempts", ArgValue::U64(plan.attempts as u64)),
+            ],
+        );
     }
 
     /// A request reached the edge: offer it to the admission queue.
@@ -417,11 +530,27 @@ impl EdgeState {
     fn offer_to_server(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
         let now = sched.now();
         let work = SimDuration::from_millis_f64(self.clients[client].spec.infer_ms);
-        match self.server.try_admit(now, (client, seq), work) {
+        let admission = self.server.try_admit(now, (client, seq), work);
+        match admission {
             Admission::Started(start) => {
                 sched.schedule_at(start.done_at, Ev::ServerDone { slot: start.slot });
+                if self.tracer.is_enabled() {
+                    self.trace_server_begin(now, start.slot, start.key);
+                }
             }
-            Admission::Queued => {}
+            Admission::Queued => {
+                let depth = self.server.queue_len();
+                self.peak_queue = self.peak_queue.max(depth);
+                if self.tracer.is_enabled() {
+                    self.tracer.counter(
+                        now,
+                        self.trace.server_track,
+                        "edgelink",
+                        "edge queue",
+                        depth as f64,
+                    );
+                }
+            }
             Admission::Rejected => {
                 self.clients[client].metrics.rejections += 1;
                 // The NACK + client backoff collapse into one retry
@@ -430,16 +559,52 @@ impl EdgeState {
                     SimDuration::from_millis_f64(self.link.retx_timeout_ms.max(0.5)),
                     Ev::AdmissionRetry { client, seq },
                 );
+                if self.tracer.is_enabled() {
+                    self.tracer.counter(
+                        now,
+                        self.trace.server_track,
+                        "edgelink",
+                        "edge rejected",
+                        self.server.rejected as f64,
+                    );
+                }
             }
         }
+    }
+
+    /// Emits the begin-span for a request entering an edge worker lane.
+    /// Only called when tracing is enabled.
+    fn trace_server_begin(&self, now: SimTime, slot: usize, key: ReqKey) {
+        let (client, seq) = key;
+        self.tracer.begin(
+            now,
+            self.trace.lanes[slot],
+            "edgelink",
+            &self.clients[client].spec.label,
+            &[("seq", ArgValue::U64(seq))],
+        );
     }
 
     /// An edge lane finished: ship the response down.
     fn server_done(&mut self, sched: &mut Sched<'_>, slot: usize) {
         let now = sched.now();
         let ((client, seq), next) = self.server.on_done(now, slot);
+        let depth = self.server.queue_len();
         if let Some(start) = next {
             sched.schedule_at(start.done_at, Ev::ServerDone { slot: start.slot });
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.end(now, self.trace.lanes[slot], "edgelink");
+            if let Some(start) = next {
+                self.trace_server_begin(now, start.slot, start.key);
+                self.tracer.counter(
+                    now,
+                    self.trace.server_track,
+                    "edgelink",
+                    "edge queue",
+                    depth as f64,
+                );
+            }
         }
         let flow_seed = self.flow_seed(client, Direction::Down);
         let st = &mut self.clients[client];
@@ -451,7 +616,8 @@ impl EdgeState {
             flow_seed,
             seq,
         );
-        if let Some(start) = st.downlink.enqueue(now, seq, plan.occupancy) {
+        let started = st.downlink.enqueue(now, seq, plan.occupancy);
+        if let Some(start) = started {
             sched.schedule_at(
                 start.done_at,
                 Ev::LaneDone {
@@ -460,6 +626,9 @@ impl EdgeState {
                     slot: start.slot,
                 },
             );
+        }
+        if started.is_some() && self.tracer.is_enabled() {
+            self.trace_lane_begin(now, client, Direction::Down, seq);
         }
     }
 
@@ -480,7 +649,21 @@ impl EdgeState {
             st.last_delivered_seq
         );
         st.last_delivered_seq = seq;
-        st.metrics.record(now, (now - submitted).as_millis_f64());
+        let latency_ms = (now - submitted).as_millis_f64();
+        st.metrics.record(now, latency_ms);
+        if self.tracer.is_enabled() {
+            self.tracer.instant(
+                now,
+                self.trace.down[client],
+                "edgelink",
+                "delivered",
+                &[
+                    ("seq", ArgValue::U64(seq)),
+                    ("latency_ms", ArgValue::F64(latency_ms)),
+                ],
+            );
+        }
+        let st = &mut self.clients[client];
         // Rate-anchored next submission, as in soc streams.
         let mut next = now + SimDuration::from_millis_f64(st.spec.gap_ms);
         next = next.max(st.started_at + SimDuration::from_millis_f64(st.spec.period_ms));
@@ -569,6 +752,81 @@ mod tests {
         for c in 0..6 {
             assert!(sim.metrics(c).completed() > 0);
         }
+    }
+
+    #[test]
+    fn tracer_captures_radio_and_server_lane_spans() {
+        use simcore::trace::{ChromeTraceSink, TracePhase, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut link = LinkParams::wifi();
+        link.loss_prob = 0.3; // force retransmissions
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let mut sim = EdgeSim::new_traced(
+            link,
+            ServerParams::small(),
+            clients(2),
+            11,
+            Tracer::with_sink(sink.clone()),
+        );
+        sim.run_for_secs(5.0);
+        let buf = sink.borrow().snapshot();
+        // Tracks: per client up/down, per lane, plus the admission track.
+        assert_eq!(buf.tracks.len(), 2 * 2 + 2 + 1);
+        let begins = buf
+            .records
+            .iter()
+            .filter(|r| r.phase == TracePhase::Begin)
+            .count();
+        let ends = buf
+            .records
+            .iter()
+            .filter(|r| r.phase == TracePhase::End)
+            .count();
+        assert!(begins > 0);
+        assert!(begins >= ends && begins - ends <= buf.tracks.len());
+        // With 30% loss some transfer must carry a retransmit attempt.
+        let has_retx = buf.records.iter().any(|r| {
+            r.args
+                .iter()
+                .any(|(k, v)| *k == "attempts" && matches!(v, ArgValue::U64(n) if *n > 1))
+        });
+        assert!(has_retx, "expected at least one attempts>1 span");
+        assert!(sim.total_retransmits() > 0);
+        // Delivery instants carry the measured latency.
+        assert!(buf
+            .records
+            .iter()
+            .any(|r| r.phase == TracePhase::Instant && r.name == "delivered"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_flow_measurements() {
+        use simcore::trace::{NullSink, Tracer};
+
+        let run = |traced: bool| {
+            let tracer = if traced {
+                Tracer::new(NullSink)
+            } else {
+                Tracer::disabled()
+            };
+            let mut sim = EdgeSim::new_traced(
+                LinkParams::wifi(),
+                ServerParams::small(),
+                clients(3),
+                9,
+                tracer,
+            );
+            sim.run_for_secs(10.0);
+            (0..3)
+                .map(|c| {
+                    let m = sim.metrics(c);
+                    (m.completed(), m.latency_overall().mean().to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

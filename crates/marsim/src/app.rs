@@ -102,9 +102,19 @@ impl MarApp {
     /// Panics if the scenario references models missing from the device's
     /// zoo.
     pub fn new(spec: &ScenarioSpec) -> Self {
+        Self::new_traced(spec, simcore::trace::Tracer::disabled())
+    }
+
+    /// Builds the app like [`Self::new`] with a tracer installed on the
+    /// underlying [`SocSim`]: every processor slot gets a span track and
+    /// every queue a counter series. A disabled tracer makes this
+    /// identical to [`Self::new`] (the simulation is bit-identical either
+    /// way).
+    pub fn new_traced(spec: &ScenarioSpec, tracer: simcore::trace::Tracer) -> Self {
         let device = spec.device.clone();
         let (topo, procs) = device.topology();
         let mut sim = SocSim::new(topo);
+        sim.set_tracer(tracer);
         let zoo = spec.zoo();
 
         // Render loop: starts with an empty scene (prep only).
@@ -399,6 +409,33 @@ impl MarApp {
         self.sim.energy_report(model)
     }
 
+    /// On-device telemetry totals since the app started: per-processor
+    /// completions and peak queue depths plus rendered/dropped frame
+    /// counts (edge counters stay zero — [`crate::edge::EdgeWorld`]
+    /// fills them in).
+    pub fn telemetry(&self) -> crate::telemetry::TelemetrySummary {
+        let processors = self
+            .sim
+            .topology()
+            .iter()
+            .map(|(id, _)| {
+                let m = self.sim.processor_metrics(id);
+                crate::telemetry::ProcessorTelemetry {
+                    name: m.name,
+                    completed: m.completed,
+                    peak_queue: self.sim.peak_queue(id),
+                }
+            })
+            .collect();
+        let frames = self.sim.source_metrics(self.render_source);
+        crate::telemetry::TelemetrySummary {
+            processors,
+            frames_rendered: frames.completed(),
+            frames_skipped: frames.skipped,
+            ..Default::default()
+        }
+    }
+
     /// Achieved render frame rate over the trailing `secs` seconds.
     pub fn fps_over_last_secs(&self, secs: f64) -> f64 {
         let now = self.sim.now();
@@ -442,7 +479,6 @@ fn render_stages(device: &DeviceProfile, procs: SocProcs, scene: &Scene) -> Stag
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::load::{inflate_stages, inflated_plan, render_utilization};
     use crate::scenario::ScenarioSpec;
 
     #[test]

@@ -30,11 +30,13 @@ use hbo_core::{
 use nnmodel::Delegate;
 use simcore::rand::SeedableRng;
 use simcore::rng::mix;
+use simcore::trace::Tracer;
 use simcore::SimTime;
 
 use crate::app::{task_period_ms, MarApp, TASK_GAP_MS, TASK_JITTER_MS};
-use crate::experiment::{HboRunResult, CONTROL_PERIOD_SECS};
+use crate::experiment::{trace_hbo_window, HboRunResult, CONTROL_PERIOD_SECS};
 use crate::scenario::ScenarioSpec;
+use crate::telemetry::TelemetrySummary;
 
 /// Warm-up before the first measurement (mirrors `experiment::run_hbo`).
 const WARMUP_SECS: f64 = 1.0;
@@ -159,6 +161,15 @@ pub struct EdgeWorld {
     master_seed: u64,
     /// Measurement windows completed (advances the edge RNG stream).
     epoch: u64,
+    /// Tracer shared with the app; per-window edge sims attach to it with
+    /// a window-start time offset so their events land on the app
+    /// timeline.
+    tracer: Tracer,
+    /// Edge counters accumulated across every measurement window (each
+    /// window runs a fresh [`EdgeSim`] which is dropped afterwards).
+    cum_rejected: u64,
+    cum_retransmits: u64,
+    edge_peak_queue: usize,
 }
 
 impl EdgeWorld {
@@ -168,6 +179,18 @@ impl EdgeWorld {
     ///
     /// Panics if `spec.edge` is `None` or names no clients.
     pub fn new(spec: &ScenarioSpec, seed: u64) -> Self {
+        Self::new_traced(spec, seed, Tracer::disabled())
+    }
+
+    /// Builds the fleet like [`Self::new`] with a tracer installed on the
+    /// on-device app and every per-window edge sim (radio and server-lane
+    /// spans land on the app timeline via a window-start offset). A
+    /// disabled tracer makes this identical to [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.edge` is `None` or names no clients.
+    pub fn new_traced(spec: &ScenarioSpec, seed: u64, tracer: Tracer) -> Self {
         let edge = spec
             .edge
             .expect("EdgeWorld requires ScenarioSpec::with_edge");
@@ -181,7 +204,7 @@ impl EdgeWorld {
             .iter()
             .map(|p| edge.offload_estimate_ms(best_local_ms(p)))
             .collect();
-        let app = MarApp::new(spec);
+        let app = MarApp::new_traced(spec, tracer.clone());
         let alloc = app.allocation();
         EdgeWorld {
             edge,
@@ -193,6 +216,10 @@ impl EdgeWorld {
             app,
             master_seed: seed,
             epoch: 0,
+            tracer,
+            cum_rejected: 0,
+            cum_retransmits: 0,
+            edge_peak_queue: 0,
         }
     }
 
@@ -258,6 +285,7 @@ impl EdgeWorld {
             .filter(|(_, d)| **d == Delegate::Edge)
             .map(|(i, _)| i)
             .collect();
+        let window_start = self.app.now();
         let base = self.app.measure_for_secs(secs);
         let mut per_task_ms = base.per_task_ms;
         let mut edge_stats = None;
@@ -277,7 +305,17 @@ impl EdgeWorld {
                 }
             }
             let seed = mix(self.master_seed, self.epoch);
-            let mut esim = EdgeSim::new(self.edge.link, self.edge.server, flows, seed);
+            // The edge sim's clock starts at zero each window; shifting
+            // its tracer by the window start puts its spans on the app
+            // timeline (and the sink's track dedup keeps one set of
+            // radio/lane tracks across windows).
+            let mut esim = EdgeSim::new_traced(
+                self.edge.link,
+                self.edge.server,
+                flows,
+                seed,
+                self.tracer.offset_by(window_start - SimTime::ZERO),
+            );
             esim.run_for_secs(secs);
 
             // Fleet-mean latency per edge task (flows are laid out
@@ -306,6 +344,9 @@ impl EdgeWorld {
                 .collect();
             pooled.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
             let (_, rejected, _) = esim.server_counters();
+            self.cum_rejected += rejected;
+            self.cum_retransmits += esim.total_retransmits();
+            self.edge_peak_queue = self.edge_peak_queue.max(esim.peak_queue());
             edge_stats = Some(EdgeStats {
                 p95_ms: percentile(&pooled, 0.95),
                 mean_ms: pooled.iter().sum::<f64>() / pooled.len().max(1) as f64,
@@ -322,6 +363,18 @@ impl EdgeWorld {
             per_task_ms,
             edge: edge_stats,
             at: base.at,
+        }
+    }
+
+    /// Telemetry totals for the whole session: the on-device summary
+    /// ([`MarApp::telemetry`]) plus the edge counters accumulated across
+    /// every measurement window.
+    pub fn telemetry(&self) -> TelemetrySummary {
+        TelemetrySummary {
+            edge_rejected: self.cum_rejected,
+            edge_retransmits: self.cum_retransmits,
+            edge_peak_queue: self.edge_peak_queue,
+            ..self.app.telemetry()
         }
     }
 }
@@ -351,23 +404,48 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 ///
 /// Panics if `spec.edge` is `None`.
 pub fn run_edge_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRunResult {
-    let mut world = EdgeWorld::new(spec, mix(seed, 0xED6E_0001));
+    run_edge_hbo_traced(spec, config, seed, Tracer::disabled())
+}
+
+/// [`run_edge_hbo`] with a tracer: SoC spans, per-window radio/server-lane
+/// spans, `"hbo"` control-window spans, and BO per-suggest spans all land
+/// in one buffer. A disabled tracer makes this bit-identical to
+/// [`run_edge_hbo`].
+///
+/// # Panics
+///
+/// Panics if `spec.edge` is `None`.
+pub fn run_edge_hbo_traced(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+) -> HboRunResult {
+    let mut world = EdgeWorld::new_traced(spec, mix(seed, 0xED6E_0001), tracer.clone());
+    let hbo_track = tracer.register_track("hbo", "hbo control");
     world.place_all_objects();
     world.run_for_secs(WARMUP_SECS);
     let mut hbo = HboController::new(spec.profiles(), config.clone());
+    hbo.set_tracer(tracer.clone());
     let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
     let incumbent = hbo.incumbent_point(
         world.allocation(),
         world.app().scene().overall_ratio().min(1.0),
     );
     world.apply(&incumbent);
+    let start = world.app().now();
     let m = world.measure_for_secs(CONTROL_PERIOD_SECS);
     hbo.observe(incumbent, m.quality, m.epsilon);
+    trace_hbo_window(&tracer, hbo_track, 0, start, m.at, &hbo.records()[0]);
     while !hbo.is_done() {
+        hbo.set_trace_now(world.app().now());
         let point = hbo.next_point(&mut rng);
         world.apply(&point);
+        let start = world.app().now();
         let m = world.measure_for_secs(CONTROL_PERIOD_SECS);
         hbo.observe(point, m.quality, m.epsilon);
+        let iter = hbo.completed_iterations() - 1;
+        trace_hbo_window(&tracer, hbo_track, iter, start, m.at, &hbo.records()[iter]);
     }
     let best = hbo
         .best()
@@ -378,6 +456,7 @@ pub fn run_edge_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRu
         best_cost_trace: hbo.best_cost_trace(),
         records: hbo.records().to_vec(),
         best,
+        telemetry: world.telemetry(),
     }
 }
 
@@ -439,12 +518,26 @@ pub fn compare_edge_systems(
     config: &HboConfig,
     seed: u64,
 ) -> Vec<EdgeSystemOutcome> {
+    compare_edge_systems_traced(spec, config, seed, Tracer::disabled()).0
+}
+
+/// [`compare_edge_systems`] with a tracer on the HBO activation (the
+/// fixed-policy evaluations stay untraced — they would overlap the same
+/// tracks at the same simulated times). Also returns the activation's
+/// telemetry totals. A disabled tracer reproduces
+/// [`compare_edge_systems`] bit-identically.
+pub fn compare_edge_systems_traced(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+) -> (Vec<EdgeSystemOutcome>, TelemetrySummary) {
     let profiles = spec.profiles();
     let local = best_local_allocation(&profiles);
     let edge_only = edge_only_allocation(&profiles);
-    let hbo_run = run_edge_hbo(spec, config, seed);
+    let hbo_run = run_edge_hbo_traced(spec, config, seed, tracer);
     let eval_seed = mix(seed, 0xED6E_0002);
-    vec![
+    let outcomes = vec![
         EdgeSystemOutcome {
             system: "local-only",
             measurement: evaluate_fixed_edge(spec, &local, 1.0, eval_seed),
@@ -468,7 +561,8 @@ pub fn compare_edge_systems(
             allocation: hbo_run.best.point.allocation.clone(),
             x: hbo_run.best.point.x,
         },
-    ]
+    ];
+    (outcomes, hbo_run.telemetry)
 }
 
 /// Renders one sweep row as a JSON line (hand-rolled; hermetic build).
@@ -514,13 +608,29 @@ pub fn sweep_cell(
     config: &HboConfig,
     seed: u64,
 ) -> Vec<String> {
+    sweep_cell_traced(base, clients, uplink_mbps, config, seed, Tracer::disabled()).0
+}
+
+/// [`sweep_cell`] with a tracer on the cell's HBO activation; also
+/// returns the activation's telemetry totals. The rendered rows are
+/// byte-identical to [`sweep_cell`]'s for any tracer.
+pub fn sweep_cell_traced(
+    base: &ScenarioSpec,
+    clients: usize,
+    uplink_mbps: f64,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+) -> (Vec<String>, TelemetrySummary) {
     let spec = base
         .clone()
         .with_edge(EdgeSpec::wifi(clients).with_uplink_mbps(uplink_mbps));
-    compare_edge_systems(&spec, config, seed)
+    let (outcomes, telemetry) = compare_edge_systems_traced(&spec, config, seed, tracer);
+    let rows = outcomes
         .iter()
         .map(|o| row_json(&spec.name, clients, uplink_mbps, o, config.w))
-        .collect()
+        .collect();
+    (rows, telemetry)
 }
 
 #[cfg(test)]
@@ -604,6 +714,29 @@ mod tests {
         let a = evaluate_fixed_edge(&spec, &alloc, 1.0, 5);
         let b = evaluate_fixed_edge(&spec, &alloc, 1.0, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_edge_run_covers_all_four_layers_and_matches_untraced() {
+        use simcore::trace::{ChromeTraceSink, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let spec = ScenarioSpec::sc1_cf2().with_edge(edge_spec(2, 5.0));
+        let config = quick_config();
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let traced = run_edge_hbo_traced(&spec, &config, 17, Tracer::with_sink(Rc::clone(&sink)));
+        let plain = run_edge_hbo(&spec, &config, 17);
+        assert_eq!(plain.best.point, traced.best.point);
+        assert_eq!(plain.best_cost_trace, traced.best_cost_trace);
+        assert_eq!(plain.telemetry, traced.telemetry);
+        let buf = sink.borrow().snapshot();
+        for cat in ["soc", "edgelink", "hbo", "bo"] {
+            assert!(
+                buf.records.iter().any(|r| r.cat == cat),
+                "no {cat} events in the trace"
+            );
+        }
     }
 
     #[test]

@@ -7,9 +7,12 @@ use hbo_core::{
 };
 use nnmodel::Delegate;
 use simcore::rand::SeedableRng;
+use simcore::trace::{ArgValue, Tracer, TrackId};
+use simcore::SimTime;
 
 use crate::app::{MarApp, Measurement};
 use crate::scenario::ScenarioSpec;
+use crate::telemetry::TelemetrySummary;
 
 /// Control period per BO iteration, in simulated seconds: the time a
 /// candidate configuration runs before its `(Q, ε)` is recorded.
@@ -29,6 +32,9 @@ pub struct HboRunResult {
     pub best: IterationRecord,
     /// Running best-cost trace (Fig. 4c / Fig. 7 series).
     pub best_cost_trace: Vec<f64>,
+    /// Telemetry totals for the whole activation (processor completions,
+    /// dropped frames, peak queue depths, edge counters).
+    pub telemetry: TelemetrySummary,
 }
 
 impl HboRunResult {
@@ -63,23 +69,77 @@ impl HboRunResult {
 /// Runs one full HBO activation on a freshly started app with every object
 /// placed (the setting of Section V-B).
 pub fn run_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRunResult {
-    let mut app = MarApp::new(spec);
+    run_hbo_traced(spec, config, seed, Tracer::disabled())
+}
+
+/// Emits the control-loop span of one completed HBO window: an `X` span
+/// covering the measurement period, carrying the iteration index, the
+/// applied configuration, and the measured `(Q, ε, φ)`.
+pub(crate) fn trace_hbo_window(
+    tracer: &Tracer,
+    track: TrackId,
+    iter: usize,
+    start: SimTime,
+    end: SimTime,
+    rec: &IterationRecord,
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let alloc: String = rec.point.allocation.iter().map(|d| d.letter()).collect();
+    tracer.complete(
+        start,
+        end - start,
+        track,
+        "hbo",
+        "window",
+        &[
+            ("iter", ArgValue::from(iter)),
+            ("alloc", ArgValue::from(alloc)),
+            ("x", ArgValue::from(rec.point.x)),
+            ("quality", ArgValue::from(rec.quality)),
+            ("epsilon", ArgValue::from(rec.epsilon)),
+            ("cost", ArgValue::from(rec.cost)),
+        ],
+    );
+}
+
+/// [`run_hbo`] with a tracer: the SoC simulation gets per-slot spans and
+/// queue counters, each control window gets an `"hbo"` `X` span, and the
+/// Bayesian optimizer gets per-suggest spans. A disabled tracer makes
+/// this bit-identical to [`run_hbo`] (tracing never touches the RNG
+/// streams or the measurement path).
+pub fn run_hbo_traced(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+) -> HboRunResult {
+    let mut app = MarApp::new_traced(spec, tracer.clone());
+    let hbo_track = tracer.register_track("hbo", "hbo control");
     app.place_all_objects();
     app.run_for_secs(WARMUP_SECS);
     let mut hbo = HboController::new(spec.profiles(), config.clone());
+    hbo.set_tracer(tracer.clone());
     let mut rng = simcore::rand::StdRng::seed_from_u64(seed);
     // Seed the dataset with the configuration already running (the static
     // best-isolated allocation at the app's current ratio): the chosen
     // "best" can then never regress below the incumbent.
     let incumbent = hbo.incumbent_point(app.allocation(), app.scene().overall_ratio().min(1.0));
     app.apply(&incumbent);
+    let start = app.now();
     let m = app.measure_for_secs(CONTROL_PERIOD_SECS);
     hbo.observe(incumbent, m.quality, m.epsilon);
+    trace_hbo_window(&tracer, hbo_track, 0, start, m.at, &hbo.records()[0]);
     while !hbo.is_done() {
+        hbo.set_trace_now(app.now());
         let point = hbo.next_point(&mut rng);
         app.apply(&point);
+        let start = app.now();
         let m = app.measure_for_secs(CONTROL_PERIOD_SECS);
         hbo.observe(point, m.quality, m.epsilon);
+        let iter = hbo.completed_iterations() - 1;
+        trace_hbo_window(&tracer, hbo_track, iter, start, m.at, &hbo.records()[iter]);
     }
     let best = hbo
         .best()
@@ -90,6 +150,7 @@ pub fn run_hbo(spec: &ScenarioSpec, config: &HboConfig, seed: u64) -> HboRunResu
         best_cost_trace: hbo.best_cost_trace(),
         records: hbo.records().to_vec(),
         best,
+        telemetry: app.telemetry(),
     }
 }
 
@@ -330,5 +391,32 @@ mod tests {
         let b = run_hbo(&ScenarioSpec::sc2_cf2(), &quick_config(), 5);
         assert_eq!(a.best.point, b.best.point);
         assert_eq!(a.best_cost_trace, b.best_cost_trace);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_collects_telemetry() {
+        use simcore::trace::{ChromeTraceSink, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let spec = ScenarioSpec::sc2_cf2();
+        let config = quick_config();
+        let plain = run_hbo(&spec, &config, 9);
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let traced = run_hbo_traced(&spec, &config, 9, Tracer::with_sink(Rc::clone(&sink)));
+        // Tracing must not change the activation in any way.
+        assert_eq!(plain.best.point, traced.best.point);
+        assert_eq!(plain.best_cost_trace, traced.best_cost_trace);
+        assert_eq!(plain.telemetry, traced.telemetry);
+        // Telemetry totals reflect real work.
+        assert!(plain.telemetry.processors.iter().any(|p| p.completed > 0));
+        assert!(plain.telemetry.frames_rendered > 0);
+        // One "hbo" window span per completed iteration, plus SoC and BO
+        // events from the lower layers.
+        let buf = sink.borrow().snapshot();
+        let windows = buf.records.iter().filter(|r| r.cat == "hbo").count();
+        assert_eq!(windows, plain.records.len());
+        assert!(buf.records.iter().any(|r| r.cat == "soc"));
+        assert!(buf.records.iter().any(|r| r.cat == "bo"));
     }
 }

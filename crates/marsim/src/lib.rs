@@ -47,6 +47,7 @@ pub mod load;
 pub mod runner;
 mod scenario;
 pub mod synth;
+pub mod telemetry;
 pub mod timeline;
 pub mod userstudy;
 
@@ -55,3 +56,4 @@ pub use edge::{EdgeMeasurement, EdgeSpec, EdgeSystemOutcome, EdgeWorld};
 pub use experiment::{BaselineOutcome, ExperimentResult, HboRunResult};
 pub use runner::{RunnerReport, SweepJob, SweepOutcome, SweepResult};
 pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};
+pub use telemetry::{ProcessorTelemetry, TelemetrySummary};

@@ -25,14 +25,18 @@
 //! emitted through `hbo_bench::harness`) so wall time and merged metrics
 //! are machine-diffable across PRs.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 use hbo_core::HboConfig;
 use simcore::pool;
 use simcore::stats::Running;
+use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceBuffer, TraceJob, Tracer};
 
-use crate::experiment::{run_hbo, HboRunResult};
+use crate::experiment::{run_hbo, run_hbo_traced, HboRunResult};
 use crate::scenario::ScenarioSpec;
+use crate::telemetry::TelemetrySummary;
 
 /// Derives the independent seed for job `job_index` of a sweep rooted at
 /// `master_seed` (splitmix64 mixing via [`simcore::rng::mix`]).
@@ -116,6 +120,9 @@ pub struct SweepOutcome {
     pub seed: u64,
     /// The full activation result.
     pub run: HboRunResult,
+    /// The job's trace buffer, when the sweep ran with tracing enabled
+    /// ([`run_sweep_traced`]).
+    pub trace: Option<TraceBuffer>,
 }
 
 /// A merged metric: a name plus its [`Running`] accumulator.
@@ -140,6 +147,9 @@ pub struct RunnerReport {
     pub threads: usize,
     /// Merged per-metric statistics, in a fixed order.
     pub metrics: Vec<MetricSummary>,
+    /// Merged telemetry totals across jobs (job-index merge order), when
+    /// the sweep collects them.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunnerReport {
@@ -164,7 +174,12 @@ impl RunnerReport {
                 m.stats.max().unwrap_or(0.0),
             ));
         }
-        out.push_str("}}");
+        out.push_str("}");
+        if let Some(t) = &self.telemetry {
+            out.push_str(",\"telemetry\":");
+            out.push_str(&t.to_json());
+        }
+        out.push('}');
         out
     }
 }
@@ -184,6 +199,26 @@ impl SweepResult {
     pub fn labeled<'a>(&'a self, label: &str) -> Vec<&'a SweepOutcome> {
         self.outcomes.iter().filter(|o| o.label == label).collect()
     }
+
+    /// Merges the per-job trace buffers (job-index order, one Chrome
+    /// `pid` per job) into one Chrome trace-event JSON document. `None`
+    /// when the sweep ran without tracing.
+    pub fn trace_json(&self) -> Option<String> {
+        if self.outcomes.iter().all(|o| o.trace.is_none()) {
+            return None;
+        }
+        let jobs: Vec<TraceJob> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| {
+                o.trace.as_ref().map(|buffer| TraceJob {
+                    name: o.label.clone(),
+                    buffer: buffer.clone(),
+                })
+            })
+            .collect();
+        Some(chrome_trace_json(&jobs))
+    }
 }
 
 /// Runs a flat HBO-activation job list on `threads` workers.
@@ -200,14 +235,45 @@ pub fn run_sweep(
     master_seed: u64,
     threads: usize,
 ) -> SweepResult {
+    run_sweep_traced(label, jobs, master_seed, threads, false)
+}
+
+/// [`run_sweep`] with optional tracing: when `traced` is set, each job
+/// runs with its own [`ChromeTraceSink`] (sinks are per-worker-job, so
+/// nothing is shared across threads) and returns its buffer for
+/// deterministic job-index-order merging via [`SweepResult::trace_json`].
+/// Tracing never perturbs the simulations, so every metric — and the
+/// merged trace itself — is bit-identical across thread counts and to an
+/// untraced run.
+pub fn run_sweep_traced(
+    label: impl Into<String>,
+    jobs: Vec<SweepJob>,
+    master_seed: u64,
+    threads: usize,
+    traced: bool,
+) -> SweepResult {
     let start = Instant::now();
     let outcomes: Vec<SweepOutcome> = pool::map(threads, &jobs, |i, job| {
         let seed = job.seed.unwrap_or_else(|| job_seed(master_seed, i as u64));
+        let (run, trace) = if traced {
+            let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+            let run = run_hbo_traced(
+                &job.scenario,
+                &job.config,
+                seed,
+                Tracer::with_sink(Rc::clone(&sink)),
+            );
+            let buffer = sink.borrow().snapshot();
+            (run, Some(buffer))
+        } else {
+            (run_hbo(&job.scenario, &job.config, seed), None)
+        };
         SweepOutcome {
             job_index: i,
             label: job.label.clone(),
             seed,
-            run: run_hbo(&job.scenario, &job.config, seed),
+            run,
+            trace,
         }
     });
     let wall_secs = start.elapsed().as_secs_f64();
@@ -218,6 +284,7 @@ pub fn run_sweep(
     let mut iter_epsilon = Running::new();
     let mut best_cost = Running::new();
     let mut iters_to_converge = Running::new();
+    let mut telemetry = TelemetrySummary::default();
     for o in &outcomes {
         let mut job_cost = Running::new();
         let mut job_quality = Running::new();
@@ -232,6 +299,7 @@ pub fn run_sweep(
         iter_epsilon.merge(&job_epsilon);
         best_cost.record(o.run.best.cost);
         iters_to_converge.record(o.run.iterations_to_converge() as f64);
+        telemetry.merge(&o.run.telemetry);
     }
     let metric = |name: &str, stats: Running| MetricSummary {
         name: name.to_owned(),
@@ -249,6 +317,7 @@ pub fn run_sweep(
             metric("iter_quality", iter_quality),
             metric("iter_epsilon", iter_epsilon),
         ],
+        telemetry: Some(telemetry),
     };
     SweepResult { outcomes, report }
 }
@@ -278,6 +347,7 @@ where
         jobs: results.len(),
         threads,
         metrics: Vec::new(),
+        telemetry: None,
     };
     (results, report)
 }

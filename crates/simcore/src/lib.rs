@@ -23,6 +23,9 @@
 //! * [`stats`] — online statistics (Welford mean/variance, time-weighted
 //!   averages, sliding windows, log-bucket histograms) used by the metric
 //!   collectors.
+//! * [`trace`] — deterministic span/counter tracing with Chrome
+//!   trace-event (Perfetto-loadable) export; zero overhead when the
+//!   [`trace::Tracer`] handle is disabled.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod rand;
 pub mod rng;
 pub mod stats;
 mod time;
+pub mod trace;
 
 pub use queue::{EventQueue, Scheduler, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -397,6 +397,39 @@ impl LogHistogram {
             .enumerate()
             .map(|(i, &c)| (self.base * self.growth.powi(i as i32), c))
     }
+
+    /// Merges another histogram into this one by summing per-bucket
+    /// counts. Used when per-job trace counters are combined into one
+    /// report: merging is exactly equivalent to having recorded both
+    /// sample streams into a single histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket layouts
+    /// (`base`, `growth`, or bucket count) — summing counts across
+    /// mismatched edges would silently produce garbage quantiles.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.base == other.base
+                && self.growth == other.growth
+                && self.counts.len() == other.counts.len(),
+            "histogram layout mismatch: ({}, {}, {}) vs ({}, {}, {})",
+            self.base,
+            self.growth,
+            self.counts.len(),
+            other.base,
+            other.growth,
+            other.counts.len()
+        );
+        if other.total == 0 {
+            return;
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[cfg(test)]
@@ -565,5 +598,181 @@ mod tests {
         let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
         assert_eq!(counts[0], 1);
         assert_eq!(*counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_equals_sequential() {
+        use crate::check::{self};
+        use crate::prop_assert_eq;
+        // Splitting a sample stream at any point and merging the two
+        // halves is indistinguishable from recording it all into one
+        // histogram: same counts, total, max, and every quantile.
+        check::check(
+            "log_histogram_merge",
+            (
+                check::vec(check::f64s(0.01..1.0e7), 0..40),
+                check::usizes(0..41),
+            ),
+            |(xs, split)| {
+                let split = (*split).min(xs.len());
+                let mut all = LogHistogram::new(0.1, 2.0, 16);
+                let mut a = LogHistogram::new(0.1, 2.0, 16);
+                let mut b = LogHistogram::new(0.1, 2.0, 16);
+                for &x in xs {
+                    all.record(x);
+                }
+                for &x in &xs[..split] {
+                    a.record(x);
+                }
+                for &x in &xs[split..] {
+                    b.record(x);
+                }
+                a.merge(&b);
+                prop_assert_eq!(a.total(), all.total());
+                prop_assert_eq!(a.max(), all.max());
+                let counts_a: Vec<u64> = a.buckets().map(|(_, c)| c).collect();
+                let counts_all: Vec<u64> = all.buckets().map(|(_, c)| c).collect();
+                prop_assert_eq!(counts_a, counts_all);
+                for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    prop_assert_eq!(
+                        a.quantile(q).map(f64::to_bits),
+                        all.quantile(q).map(f64::to_bits),
+                        "quantile {q} diverged after merge"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn histogram_quantile_at_bucket_boundaries() {
+        use crate::check::{self};
+        use crate::{prop_assert, prop_assert_eq};
+        // Values placed exactly on bucket edges (base * growth^i) must
+        // report a quantile that brackets the value: at least the value
+        // itself, at most one bucket-width above it (never below — a
+        // boundary value belongs to the bucket it opens).
+        check::check(
+            "log_histogram_boundary_quantile",
+            check::vec(check::usizes(0..12), 1..20),
+            |exponents| {
+                let base = 1.0;
+                let growth = 2.0;
+                let mut h = LogHistogram::new(base, growth, 16);
+                let mut values: Vec<f64> = exponents
+                    .iter()
+                    .map(|&e| base * growth.powi(e as i32))
+                    .collect();
+                for &v in &values {
+                    h.record(v);
+                }
+                values.sort_by(f64::total_cmp);
+                prop_assert_eq!(h.quantile(1.0), values.last().copied());
+                for (k, &v) in values.iter().enumerate() {
+                    let q = (k + 1) as f64 / values.len() as f64;
+                    let got = h.quantile(q).unwrap();
+                    prop_assert!(
+                        got >= v,
+                        "q={q}: quantile {got} fell below boundary value {v}"
+                    );
+                    prop_assert!(
+                        got <= (v * growth).min(*values.last().unwrap()),
+                        "q={q}: quantile {got} overshot bucket above {v}"
+                    );
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn histogram_merge_empty_is_identity() {
+        let mut h = LogHistogram::new(1.0, 2.0, 8);
+        h.record(3.0);
+        let before: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        h.merge(&LogHistogram::new(1.0, 2.0, 8));
+        let after: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(before, after);
+        assert_eq!(h.max(), Some(3.0));
+
+        let mut empty = LogHistogram::new(1.0, 2.0, 8);
+        empty.merge(&h);
+        assert_eq!(empty.total(), 1);
+        assert_eq!(empty.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram layout mismatch")]
+    fn histogram_merge_rejects_layout_mismatch() {
+        let mut a = LogHistogram::new(1.0, 2.0, 8);
+        let b = LogHistogram::new(1.0, 2.0, 9);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn time_weighted_across_window_seams() {
+        use crate::check::{self};
+        use crate::prop_assert;
+        // The seam invariant behind per-window utilization counters: a
+        // signal tracked continuously over [0, T] must equal the
+        // duration-weighted combination of two trackers split at an
+        // arbitrary seam s — the second tracker starting at the level
+        // the first one ended with.
+        check::check(
+            "time_weighted_window_seam",
+            (
+                check::vec((check::f64s(0.001..10.0), check::f64s(0.0..8.0)), 1..16),
+                check::usizes(0..17),
+            ),
+            |(steps, seam_idx)| {
+                let seam_idx = (*seam_idx).min(steps.len());
+                // Build absolute change times from positive gaps.
+                let mut t = 0.0;
+                let changes: Vec<(f64, f64)> = steps
+                    .iter()
+                    .map(|&(gap, level)| {
+                        t += gap;
+                        (t, level)
+                    })
+                    .collect();
+                let end = t + 1.0;
+                let seam = if seam_idx == changes.len() {
+                    t + 0.5
+                } else {
+                    changes[seam_idx].0
+                };
+
+                let mut whole = TimeWeighted::new(SimTime::ZERO, 0.0);
+                for &(at, level) in &changes {
+                    whole.set(SimTime::from_secs_f64(at), level);
+                }
+                let expected = whole.average(SimTime::from_secs_f64(end));
+
+                let mut first = TimeWeighted::new(SimTime::ZERO, 0.0);
+                let mut level_at_seam = 0.0;
+                for &(at, level) in changes.iter().take_while(|&&(at, _)| at < seam) {
+                    first.set(SimTime::from_secs_f64(at), level);
+                    level_at_seam = level;
+                }
+                let mut second = TimeWeighted::new(SimTime::from_secs_f64(seam), level_at_seam);
+                for &(at, level) in changes.iter().skip_while(|&&(at, _)| at < seam) {
+                    second.set(SimTime::from_secs_f64(at), level);
+                }
+                let avg_a = first.average(SimTime::from_secs_f64(seam));
+                let avg_b = second.average(SimTime::from_secs_f64(end));
+                // Durations computed from the same quantized SimTime
+                // values the trackers saw, so the combination is exact
+                // up to float rounding.
+                let d_a = SimTime::from_secs_f64(seam).as_secs_f64();
+                let d_b = SimTime::from_secs_f64(end).as_secs_f64() - d_a;
+                let combined = (avg_a * d_a + avg_b * d_b) / (d_a + d_b);
+                prop_assert!(
+                    (combined - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+                    "seam combination diverged: whole={expected}, combined={combined}, seam={seam}"
+                );
+                Ok(())
+            },
+        );
     }
 }

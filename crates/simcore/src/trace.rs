@@ -1,0 +1,967 @@
+//! `simcore::trace` — deterministic span/counter tracing for the DES stack.
+//!
+//! The design goals, in priority order:
+//!
+//! 1. **Zero overhead when disabled.** A [`Tracer`] is a cloneable handle
+//!    that is empty by default; every emit method starts with one
+//!    predictable `Option` branch and returns immediately. Names and
+//!    arguments that require allocation must be built by the caller
+//!    *behind* [`Tracer::is_enabled`], so the disabled hot path never
+//!    allocates.
+//! 2. **Full determinism.** Records carry simulated time only
+//!    ([`SimTime`] nanoseconds) — never wall-clock time — and are kept in
+//!    emit order. Track ids are assigned in registration order. The
+//!    serializer iterates vectors, never hash maps, so the exported file
+//!    is byte-identical across reruns and across worker-thread counts
+//!    (the parallel runner merges per-job buffers in job-index order,
+//!    one Chrome `pid` per job).
+//! 3. **Perfetto compatibility.** [`chrome_trace_json`] emits the Chrome
+//!    trace-event JSON format (`{"traceEvents":[...]}` with `B`/`E`/`X`/
+//!    `C`/`i`/`M` phases, microsecond `ts`), loadable in Perfetto or
+//!    `chrome://tracing`. Each simulated processor slot, edge-server
+//!    lane, radio direction, and control loop gets its own named track.
+//!
+//! The module also carries a tiny in-tree JSON parser ([`parse_json`])
+//! and a Chrome-trace structural validator ([`chrome_trace_stats`]) so
+//! tests and CI can check exported traces without external tools.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::{SimDuration, SimTime};
+
+/// Identifies one named track (Chrome "thread") inside a trace buffer.
+///
+/// Ids are assigned densely in registration order, which makes them
+/// deterministic as long as tracks are registered in a deterministic
+/// order (simulation construction order in this workspace).
+pub type TrackId = u32;
+
+/// One structured argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument (sequence numbers, counts).
+    U64(u64),
+    /// Signed integer argument.
+    I64(i64),
+    /// Floating-point argument (latencies, scores). Serialized with
+    /// Rust's shortest-roundtrip formatting, which is deterministic for
+    /// a fixed binary; non-finite values serialize as JSON `null`.
+    F64(f64),
+    /// String argument (allocation strings, labels).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// The Chrome trace-event phase of a [`TraceRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span begin (`"B"`). Must be balanced by an [`TracePhase::End`] on
+    /// the same track.
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Complete span (`"X"`) with an explicit duration.
+    Complete,
+    /// Counter sample (`"C"`); the value rides in the `value` argument.
+    Counter,
+    /// Instant event (`"i"`).
+    Instant,
+}
+
+/// One trace event, carrying simulated time only.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Simulated timestamp in nanoseconds.
+    pub at_ns: u64,
+    /// Duration in nanoseconds; meaningful only for
+    /// [`TracePhase::Complete`].
+    pub dur_ns: u64,
+    /// Track the event belongs to.
+    pub track: TrackId,
+    /// Event phase.
+    pub phase: TracePhase,
+    /// Category (one per instrumented layer: `"soc"`, `"edgelink"`,
+    /// `"hbo"`, `"bo"`).
+    pub cat: &'static str,
+    /// Event name (span name or counter series name).
+    pub name: String,
+    /// Structured arguments, serialized in the given order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A named track definition: `process` groups related tracks (e.g.
+/// `"soc"`), `track` names the lane (e.g. `"CPU slot0"`).
+#[derive(Debug, Clone)]
+pub struct TrackDef {
+    /// Subsystem the track belongs to.
+    pub process: String,
+    /// Human-readable lane name.
+    pub track: String,
+}
+
+/// Plain-data snapshot of everything a sink collected. `Send`-safe, so
+/// parallel runner workers can return buffers for deterministic merging.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    /// Registered tracks, in registration order (index == [`TrackId`]).
+    pub tracks: Vec<TrackDef>,
+    /// Emitted records, in emit order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Destination for trace events.
+///
+/// Object-safe so a [`Tracer`] can hold any sink behind one pointer.
+pub trait TraceSink: fmt::Debug {
+    /// Registers a named track and returns its id. Called in
+    /// deterministic construction order by the instrumented layers.
+    fn register_track(&mut self, process: &str, track: &str) -> TrackId;
+
+    /// Receives one event.
+    fn event(&mut self, record: TraceRecord);
+}
+
+/// A sink that drops everything. Installing it exercises the full
+/// instrumented path (enabled-branch taken, names built, records
+/// constructed) without buffering — the kernels bench uses it to pin
+/// the cost of instrumentation itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn register_track(&mut self, _process: &str, _track: &str) -> TrackId {
+        0
+    }
+
+    fn event(&mut self, _record: TraceRecord) {}
+}
+
+/// A sink that buffers every event for later Chrome trace-event JSON
+/// export via [`chrome_trace_json`].
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    buffer: TraceBuffer,
+}
+
+impl ChromeTraceSink {
+    /// Creates an empty buffering sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones out everything collected so far.
+    pub fn snapshot(&self) -> TraceBuffer {
+        self.buffer.clone()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.buffer.records.len()
+    }
+
+    /// True when no records have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.records.is_empty()
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn register_track(&mut self, process: &str, track: &str) -> TrackId {
+        // Re-registering an identical (process, track) pair returns the
+        // existing id, so layers rebuilt mid-run (e.g. one edge sim per
+        // measurement window) keep appending to the same named track. A
+        // linear scan keeps the lookup order-deterministic (no HashMap).
+        if let Some(i) = self
+            .buffer
+            .tracks
+            .iter()
+            .position(|t| t.process == process && t.track == track)
+        {
+            return i as TrackId;
+        }
+        let id = self.buffer.tracks.len() as TrackId;
+        self.buffer.tracks.push(TrackDef {
+            process: process.to_string(),
+            track: track.to_string(),
+        });
+        id
+    }
+
+    fn event(&mut self, record: TraceRecord) {
+        self.buffer.records.push(record);
+    }
+}
+
+/// Cloneable tracing handle threaded through the simulation stack.
+///
+/// Disabled by default ([`Tracer::disabled`]); every emit method is a
+/// single `Option` check in that state. Clones share one underlying
+/// sink, so a whole single-threaded job (SoC sim, edge sim, control
+/// loop, optimizer) appends to one deterministically ordered buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// Added to every emitted timestamp. Lets a sub-simulation with its
+    /// own zero-based clock (e.g. one per-window edge sim) land on the
+    /// parent timeline.
+    offset_ns: u64,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer(enabled={})", self.is_enabled())
+    }
+}
+
+impl Tracer {
+    /// A tracer that ignores everything (the default).
+    pub fn disabled() -> Self {
+        Self {
+            sink: None,
+            offset_ns: 0,
+        }
+    }
+
+    /// Wraps an owned sink.
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Self {
+            sink: Some(Rc::new(RefCell::new(sink))),
+            offset_ns: 0,
+        }
+    }
+
+    /// Wraps a shared sink, letting the caller keep a concrete handle
+    /// (e.g. to snapshot a [`ChromeTraceSink`] after the run).
+    pub fn with_sink<S: TraceSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        Self {
+            sink: Some(sink),
+            offset_ns: 0,
+        }
+    }
+
+    /// A handle sharing this tracer's sink whose every timestamp is
+    /// shifted forward by `offset` (on top of any existing offset).
+    pub fn offset_by(&self, offset: SimDuration) -> Tracer {
+        Tracer {
+            sink: self.sink.clone(),
+            offset_ns: self.offset_ns + offset.as_nanos(),
+        }
+    }
+
+    /// True when a sink is attached. Callers must guard any
+    /// allocation-requiring argument construction behind this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Registers a named track; returns 0 when disabled.
+    pub fn register_track(&self, process: &str, track: &str) -> TrackId {
+        match &self.sink {
+            Some(s) => s.borrow_mut().register_track(process, track),
+            None => 0,
+        }
+    }
+
+    /// Emits a span begin.
+    #[inline]
+    pub fn begin(
+        &self,
+        at: SimTime,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        let Some(sink) = &self.sink else { return };
+        sink.borrow_mut().event(TraceRecord {
+            at_ns: self.offset_ns + at.as_nanos(),
+            dur_ns: 0,
+            track,
+            phase: TracePhase::Begin,
+            cat,
+            name: name.to_string(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Emits a span end (balances the latest [`Tracer::begin`] on the
+    /// same track).
+    #[inline]
+    pub fn end(&self, at: SimTime, track: TrackId, cat: &'static str) {
+        let Some(sink) = &self.sink else { return };
+        sink.borrow_mut().event(TraceRecord {
+            at_ns: self.offset_ns + at.as_nanos(),
+            dur_ns: 0,
+            track,
+            phase: TracePhase::End,
+            cat,
+            name: String::new(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Emits a complete span with an explicit duration.
+    #[inline]
+    pub fn complete(
+        &self,
+        at: SimTime,
+        dur: SimDuration,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        let Some(sink) = &self.sink else { return };
+        sink.borrow_mut().event(TraceRecord {
+            at_ns: self.offset_ns + at.as_nanos(),
+            dur_ns: dur.as_nanos(),
+            track,
+            phase: TracePhase::Complete,
+            cat,
+            name: name.to_string(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Emits a counter sample. `name` is the counter series; distinct
+    /// series need distinct names within one process.
+    #[inline]
+    pub fn counter(&self, at: SimTime, track: TrackId, cat: &'static str, name: &str, value: f64) {
+        let Some(sink) = &self.sink else { return };
+        sink.borrow_mut().event(TraceRecord {
+            at_ns: self.offset_ns + at.as_nanos(),
+            dur_ns: 0,
+            track,
+            phase: TracePhase::Counter,
+            cat,
+            name: name.to_string(),
+            args: vec![("value", ArgValue::F64(value))],
+        });
+    }
+
+    /// Emits an instant event.
+    #[inline]
+    pub fn instant(
+        &self,
+        at: SimTime,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        args: &[(&'static str, ArgValue)],
+    ) {
+        let Some(sink) = &self.sink else { return };
+        sink.borrow_mut().event(TraceRecord {
+            at_ns: self.offset_ns + at.as_nanos(),
+            dur_ns: 0,
+            track,
+            phase: TracePhase::Instant,
+            cat,
+            name: name.to_string(),
+            args: args.to_vec(),
+        });
+    }
+}
+
+/// One job's worth of trace data for merged export: the job `name`
+/// becomes the Chrome process name, and the job's position in the slice
+/// becomes its `pid` (index + 1).
+#[derive(Debug, Clone)]
+pub struct TraceJob {
+    /// Process name shown in the trace viewer (e.g. `"job0 SC1-CF1"`).
+    pub name: String,
+    /// The job's collected buffer.
+    pub buffer: TraceBuffer,
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats integer nanoseconds as a microsecond JSON number with
+/// exactly three decimals (`1234` → `1.234`). String formatting keeps
+/// the output byte-deterministic; the value is still a valid JSON
+/// number.
+fn push_ts(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+fn push_arg_value(out: &mut String, value: &ArgValue) {
+    match value {
+        ArgValue::U64(v) => out.push_str(&format!("{v}")),
+        ArgValue::I64(v) => out.push_str(&format!("{v}")),
+        ArgValue::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        ArgValue::Str(s) => {
+            out.push('"');
+            push_escaped(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push_str("\"args\":{");
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        push_escaped(out, key);
+        out.push_str("\":");
+        push_arg_value(out, value);
+    }
+    out.push('}');
+}
+
+/// Serializes per-job buffers to Chrome trace-event JSON.
+///
+/// Jobs map to Chrome processes (`pid` = job index + 1) in slice order,
+/// tracks to threads (`tid` = track id + 1); metadata events name both.
+/// Everything is emitted in deterministic vector order, one event per
+/// line, so equal inputs produce byte-identical output.
+pub fn chrome_trace_json(jobs: &[TraceJob]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for (job_index, job) in jobs.iter().enumerate() {
+        let pid = job_index + 1;
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\""
+        ));
+        push_escaped(&mut out, &job.name);
+        out.push_str("\"}}");
+        for (track_id, track) in job.buffer.tracks.iter().enumerate() {
+            let tid = track_id + 1;
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+            ));
+            push_escaped(&mut out, &track.process);
+            out.push(':');
+            push_escaped(&mut out, &track.track);
+            out.push_str("\"}}");
+        }
+        for rec in &job.buffer.records {
+            let tid = rec.track as usize + 1;
+            sep(&mut out);
+            let ph = match rec.phase {
+                TracePhase::Begin => "B",
+                TracePhase::End => "E",
+                TracePhase::Complete => "X",
+                TracePhase::Counter => "C",
+                TracePhase::Instant => "i",
+            };
+            out.push_str(&format!(
+                "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":"
+            ));
+            push_ts(&mut out, rec.at_ns);
+            if rec.phase == TracePhase::Complete {
+                out.push_str(",\"dur\":");
+                push_ts(&mut out, rec.dur_ns);
+            }
+            out.push_str(",\"cat\":\"");
+            push_escaped(&mut out, rec.cat);
+            out.push_str("\"");
+            if rec.phase != TracePhase::End {
+                out.push_str(",\"name\":\"");
+                push_escaped(&mut out, &rec.name);
+                out.push('"');
+            }
+            if rec.phase == TracePhase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push(',');
+            push_args(&mut out, &rec.args);
+            out.push('}');
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tiny in-tree JSON parser + Chrome-trace validator (no external deps).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep key order as a vector of pairs so
+/// round-trip inspection stays deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, parsed as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, keys in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object; `None` for missing keys or
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(&format!("unexpected byte '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("invalid number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON document. Rejects trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Structural summary of a Chrome trace-event file, for tests and the
+/// CI smoke checker.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total number of events (including metadata).
+    pub events: usize,
+    /// Number of span events (`B`/`E`/`X`).
+    pub spans: usize,
+    /// Number of counter samples.
+    pub counters: usize,
+    /// Distinct categories seen on span events, with span counts,
+    /// sorted by category name.
+    pub span_cats: Vec<(String, usize)>,
+}
+
+impl TraceStats {
+    /// Span count for one category (0 when absent).
+    pub fn spans_in_cat(&self, cat: &str) -> usize {
+        self.span_cats
+            .iter()
+            .find(|(c, _)| c == cat)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+}
+
+/// Parses and structurally validates a Chrome trace-event JSON file:
+/// top-level object with a `traceEvents` array whose elements are
+/// objects carrying a string `ph`, and (for non-metadata events)
+/// numeric `ts`. Returns per-category span counts.
+pub fn chrome_trace_stats(text: &str) -> Result<TraceStats, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing top-level 'traceEvents'")?
+        .as_arr()
+        .ok_or("'traceEvents' is not an array")?;
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..TraceStats::default()
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string 'ph'"))?;
+        if ph == "M" {
+            continue;
+        }
+        match ev.get("ts") {
+            Some(Json::Num(_)) => {}
+            _ => return Err(format!("event {i}: missing numeric 'ts'")),
+        }
+        match ph {
+            "B" | "E" | "X" => {
+                stats.spans += 1;
+                let cat = ev.get("cat").and_then(Json::as_str).unwrap_or("");
+                match stats.span_cats.iter_mut().find(|(c, _)| c == cat) {
+                    Some((_, n)) => *n += 1,
+                    None => stats.span_cats.push((cat.to_string(), 1)),
+                }
+            }
+            "C" => stats.counters += 1,
+            "i" => {}
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    stats.span_cats.sort();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::from_secs_f64(ms / 1e3)
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        assert_eq!(tracer.register_track("p", "t"), 0);
+        tracer.begin(t(1.0), 0, "soc", "job", &[]);
+        tracer.end(t(2.0), 0, "soc");
+        tracer.counter(t(2.0), 0, "soc", "queue", 3.0);
+    }
+
+    #[test]
+    fn chrome_sink_buffers_in_order() {
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let tracer = Tracer::with_sink(sink.clone());
+        let a = tracer.register_track("soc", "CPU slot0");
+        let b = tracer.register_track("soc", "GPU");
+        assert_eq!((a, b), (0, 1));
+        tracer.begin(t(1.0), a, "soc", "detector", &[("seq", 7u64.into())]);
+        tracer.end(t(3.5), a, "soc");
+        tracer.counter(t(3.5), b, "soc", "GPU resident", 2.0);
+        let buf = sink.borrow().snapshot();
+        assert_eq!(buf.tracks.len(), 2);
+        assert_eq!(buf.records.len(), 3);
+        assert_eq!(buf.records[0].phase, TracePhase::Begin);
+        assert_eq!(buf.records[0].at_ns, 1_000_000);
+        assert_eq!(buf.records[2].phase, TracePhase::Counter);
+    }
+
+    #[test]
+    fn export_is_valid_chrome_json_and_deterministic() {
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let tracer = Tracer::with_sink(sink.clone());
+        let cpu = tracer.register_track("soc", "CPU slot0");
+        tracer.begin(t(0.25), cpu, "soc", "job \"x\"", &[("seq", 1u64.into())]);
+        tracer.end(t(1.75), cpu, "soc");
+        tracer.complete(
+            t(2.0),
+            SimDuration::from_millis_f64(0.5),
+            cpu,
+            "hbo",
+            "window",
+            &[("epsilon", 0.125f64.into()), ("alloc", "CGN".into())],
+        );
+        tracer.counter(t(2.5), cpu, "soc", "queue", 4.0);
+        tracer.instant(t(2.5), cpu, "bo", "suggest", &[]);
+        let job = TraceJob {
+            name: "job0".to_string(),
+            buffer: sink.borrow().snapshot(),
+        };
+        let one = chrome_trace_json(&[job.clone()]);
+        let two = chrome_trace_json(&[job.clone()]);
+        assert_eq!(one, two, "serialization must be deterministic");
+        let stats = chrome_trace_stats(&one).expect("valid chrome trace");
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.spans_in_cat("soc"), 2);
+        assert_eq!(stats.spans_in_cat("hbo"), 1);
+
+        // Multi-job merge: pids follow job order.
+        let merged = chrome_trace_json(&[job.clone(), job]);
+        let doc = parse_json(&merged).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e.get("pid") {
+                Some(Json::Num(n)) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert!(pids.contains(&1.0) && pids.contains(&2.0));
+    }
+
+    #[test]
+    fn ts_formatting_is_exact_microseconds() {
+        let mut s = String::new();
+        push_ts(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        let mut s = String::new();
+        push_ts(&mut s, 42);
+        assert_eq!(s, "0.042");
+    }
+
+    #[test]
+    fn json_parser_round_trips_edge_cases() {
+        let v = parse_json(r#"{"a":[1,-2.5,1e3],"b":"x\"\\\nA","c":null,"d":true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x\"\\\nA"));
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[2], Json::Num(1000.0));
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("").is_err());
+    }
+}

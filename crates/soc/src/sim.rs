@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use simcore::stats::{LogHistogram, Running};
+use simcore::trace::{ArgValue, Tracer, TrackId};
 use simcore::{SimTime, Simulator};
 
 use crate::job::{SourceId, SourceSpec, Stage, StageSeq, StreamId, StreamSpec};
@@ -26,15 +27,34 @@ enum SocEvent {
     StreamStart { stream: usize },
 }
 
+/// How much of the per-stream `(completion time, latency)` sample trace
+/// is retained in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SampleRetention {
+    /// Keep every sample (the default; required for full-horizon time
+    /// series such as Fig. 2).
+    #[default]
+    Full,
+    /// Keep at least the most recent `n` samples, dropping the oldest
+    /// half whenever the buffer reaches `2n`. Windowed queries
+    /// ([`StreamMetrics::mean_since`]) stay exact as long as the query
+    /// window holds at most `n` completions; long-horizon sweeps stop
+    /// growing memory linearly with the horizon.
+    Cap(usize),
+}
+
 /// Per-stream latency measurements.
 ///
-/// Keeps the full `(completion time, latency ms)` trace so experiments can
-/// plot time series (Fig. 2) and compute window means (Eq. 4).
+/// Keeps the `(completion time, latency ms)` trace so experiments can
+/// plot time series (Fig. 2) and compute window means (Eq. 4); the
+/// retention policy is configurable via [`SocSim::set_sample_retention`]
+/// (full trace by default).
 #[derive(Debug, Clone)]
 pub struct StreamMetrics {
     samples: Vec<(SimTime, f64)>,
     overall: Running,
     histogram: LogHistogram,
+    retention: SampleRetention,
 }
 
 impl Default for StreamMetrics {
@@ -45,6 +65,7 @@ impl Default for StreamMetrics {
             // 0.1 ms .. ~1.7 s in 10% steps: covers sub-ms digit
             // classifiers up to pathologically contended segmentation.
             histogram: LogHistogram::new(0.1, 1.1, 102),
+            retention: SampleRetention::Full,
         }
     }
 }
@@ -93,6 +114,13 @@ impl StreamMetrics {
 
     fn record(&mut self, at: SimTime, latency_ms: f64) {
         self.samples.push((at, latency_ms));
+        if let SampleRetention::Cap(n) = self.retention {
+            let keep = n.max(1);
+            if self.samples.len() >= keep * 2 {
+                let cut = self.samples.len() - keep;
+                self.samples.drain(..cut);
+            }
+        }
         self.overall.record(latency_ms);
         self.histogram.record(latency_ms);
     }
@@ -175,11 +203,35 @@ struct SourceState {
     metrics: SourceMetrics,
 }
 
+/// Trace track ids registered per simulation entity; parallel vectors
+/// indexed like their owners. All zeros when tracing is disabled.
+#[derive(Debug, Default)]
+struct TraceIds {
+    /// Per server: one span track per FIFO slot (empty for PS servers).
+    fifo_slots: Vec<Vec<TrackId>>,
+    /// Per server: the track carrying its counter series.
+    proc_track: Vec<TrackId>,
+    /// Per server: counter series name (`"<proc> queue"` / `"<proc>
+    /// resident"`).
+    proc_counter: Vec<String>,
+    /// Per stream: span track for completed inferences.
+    streams: Vec<TrackId>,
+    /// Per source: track carrying the skipped-release counter.
+    sources: Vec<TrackId>,
+    /// Per source: skipped-release counter series name.
+    source_counter: Vec<String>,
+}
+
 struct SocState {
     topo: Topology,
     servers: Vec<ServerImpl>,
     streams: Vec<StreamState>,
     sources: Vec<SourceState>,
+    /// Peak FIFO queue depth observed per server (0 for PS servers).
+    peak_queue: Vec<usize>,
+    retention: SampleRetention,
+    tracer: Tracer,
+    trace: TraceIds,
 }
 
 type Sched<'a> = simcore::Scheduler<'a, SocEvent>;
@@ -212,6 +264,7 @@ impl SocSim {
                 ServicePolicy::ProcessorSharing => ServerImpl::Ps(PsServer::new(start)),
             })
             .collect();
+        let server_count = topology.iter().count();
         SocSim {
             sim: Simulator::new(),
             state: SocState {
@@ -219,8 +272,74 @@ impl SocSim {
                 servers,
                 streams: Vec::new(),
                 sources: Vec::new(),
+                peak_queue: vec![0; server_count],
+                retention: SampleRetention::Full,
+                tracer: Tracer::disabled(),
+                trace: TraceIds::default(),
             },
         }
+    }
+
+    /// Installs a tracer and registers one span track per FIFO slot and
+    /// one counter track per processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if streams or sources were already added — their tracks
+    /// must be registered in creation order, so the tracer has to be
+    /// installed first.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        assert!(
+            self.state.streams.is_empty() && self.state.sources.is_empty(),
+            "install the tracer before adding streams or sources"
+        );
+        self.state.tracer = tracer;
+        self.state.trace = TraceIds::default();
+        for (id, spec) in self.state.topo.iter() {
+            debug_assert_eq!(id.index(), self.state.trace.proc_track.len());
+            match spec.policy {
+                ServicePolicy::Fifo { slots } => {
+                    let tracks: Vec<TrackId> = (0..slots)
+                        .map(|s| {
+                            self.state
+                                .tracer
+                                .register_track("soc", &format!("{} slot{s}", spec.name))
+                        })
+                        .collect();
+                    self.state.trace.proc_track.push(tracks[0]);
+                    self.state.trace.fifo_slots.push(tracks);
+                    self.state
+                        .trace
+                        .proc_counter
+                        .push(format!("{} queue", spec.name));
+                }
+                ServicePolicy::ProcessorSharing => {
+                    let track = self.state.tracer.register_track("soc", &spec.name);
+                    self.state.trace.proc_track.push(track);
+                    self.state.trace.fifo_slots.push(Vec::new());
+                    self.state
+                        .trace
+                        .proc_counter
+                        .push(format!("{} resident", spec.name));
+                }
+            }
+        }
+    }
+
+    /// Sets the sample-trace retention policy for all current and future
+    /// streams. The default ([`SampleRetention::Full`]) keeps every
+    /// sample.
+    pub fn set_sample_retention(&mut self, retention: SampleRetention) {
+        self.state.retention = retention;
+        for st in &mut self.state.streams {
+            st.metrics.retention = retention;
+        }
+    }
+
+    /// Peak FIFO queue depth observed on a processor so far (always 0
+    /// for processor-sharing servers, which do not queue).
+    pub fn peak_queue(&self, id: ProcId) -> usize {
+        self.state.peak_queue[id.index()]
     }
 
     /// Current simulated time.
@@ -242,13 +361,25 @@ impl SocSim {
     pub fn add_stream(&mut self, spec: StreamSpec) -> StreamId {
         self.state.validate_stages(&spec.stages);
         let id = StreamId(self.state.streams.len());
+        let track_name = if spec.label.is_empty() {
+            format!("stream{}", id.0)
+        } else {
+            spec.label.clone()
+        };
+        self.state
+            .trace
+            .streams
+            .push(self.state.tracer.register_track("soc", &track_name));
         self.state.streams.push(StreamState {
             spec,
             pending: None,
             seq: 0,
             started_at: self.sim.now(),
             in_flight: false,
-            metrics: StreamMetrics::default(),
+            metrics: StreamMetrics {
+                retention: self.state.retention,
+                ..StreamMetrics::default()
+            },
         });
         self.sim
             .schedule(self.sim.now(), SocEvent::StreamStart { stream: id.0 });
@@ -276,6 +407,19 @@ impl SocSim {
     pub fn add_source(&mut self, spec: SourceSpec) -> SourceId {
         self.state.validate_stages(&spec.stages);
         let id = SourceId(self.state.sources.len());
+        let track_name = if spec.label.is_empty() {
+            format!("source{}", id.0)
+        } else {
+            spec.label.clone()
+        };
+        self.state
+            .trace
+            .sources
+            .push(self.state.tracer.register_track("soc", &track_name));
+        self.state
+            .trace
+            .source_counter
+            .push(format!("{track_name} skipped"));
         self.state.sources.push(SourceState {
             spec,
             seq: 0,
@@ -374,6 +518,7 @@ impl SocState {
                     unreachable!("FifoDone on a non-FIFO processor");
                 };
                 let (finished, next) = server.on_done(now, slot);
+                let depth = server.queue_len();
                 if let Some(start) = next {
                     sched.schedule_at(
                         start.done_at,
@@ -382,6 +527,20 @@ impl SocState {
                             slot: start.slot,
                         },
                     );
+                }
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .end(now, self.trace.fifo_slots[proc][slot], "soc");
+                    if let Some(start) = next {
+                        self.trace_job_begin(now, proc, start.slot, start.key);
+                        self.tracer.counter(
+                            now,
+                            self.trace.proc_track[proc],
+                            "soc",
+                            &self.trace.proc_counter[proc],
+                            depth as f64,
+                        );
+                    }
                 }
                 self.on_stage_done(sched, finished);
             }
@@ -394,9 +553,19 @@ impl SocState {
                     return; // stale check superseded by a membership change
                 }
                 let (finished, next) = server.on_check(now);
+                let resident = server.resident();
                 if let Some(t) = next {
                     let generation = server.generation;
                     sched.schedule_at(t, SocEvent::PsCheck { proc, generation });
+                }
+                if !finished.is_empty() && self.tracer.is_enabled() {
+                    self.tracer.counter(
+                        now,
+                        self.trace.proc_track[proc],
+                        "soc",
+                        &self.trace.proc_counter[proc],
+                        resident as f64,
+                    );
                 }
                 for key in finished {
                     self.on_stage_done(sched, key);
@@ -429,6 +598,16 @@ impl SocState {
         sched.schedule_after(st.spec.period, SocEvent::SourceTick { source });
         if st.outstanding.len() >= st.spec.max_outstanding {
             st.metrics.skipped += 1;
+            let skipped = st.metrics.skipped;
+            if self.tracer.is_enabled() {
+                self.tracer.counter(
+                    now,
+                    self.trace.sources[source],
+                    "soc",
+                    &self.trace.source_counter[source],
+                    skipped as f64,
+                );
+            }
             return;
         }
         st.seq += 1;
@@ -462,32 +641,120 @@ impl SocState {
             Stage::Delay { duration } => {
                 sched.schedule_after(duration, SocEvent::DelayDone { key });
             }
-            Stage::Compute { proc, work } => match &mut self.servers[proc.index()] {
-                ServerImpl::Fifo(server) => {
-                    if let Some(start) = server.enqueue(now, key, work) {
-                        sched.schedule_at(
-                            start.done_at,
-                            SocEvent::FifoDone {
-                                proc: proc.index(),
+            Stage::Compute { proc, work } => {
+                let p = proc.index();
+                // Outcome of the enqueue, captured so the trace emission
+                // below runs after the server borrow ends.
+                enum Enqueued {
+                    FifoStarted { slot: usize, key: JobKey },
+                    FifoQueued { depth: usize },
+                    Ps { resident: usize },
+                }
+                let outcome = match &mut self.servers[p] {
+                    ServerImpl::Fifo(server) => {
+                        if let Some(start) = server.enqueue(now, key, work) {
+                            sched.schedule_at(
+                                start.done_at,
+                                SocEvent::FifoDone {
+                                    proc: p,
+                                    slot: start.slot,
+                                },
+                            );
+                            Enqueued::FifoStarted {
                                 slot: start.slot,
-                            },
-                        );
+                                key: start.key,
+                            }
+                        } else {
+                            Enqueued::FifoQueued {
+                                depth: server.queue_len(),
+                            }
+                        }
+                    }
+                    ServerImpl::Ps(server) => {
+                        if let Some(t) = server.enqueue(now, key, work) {
+                            let generation = server.generation;
+                            sched.schedule_at(
+                                t,
+                                SocEvent::PsCheck {
+                                    proc: p,
+                                    generation,
+                                },
+                            );
+                        }
+                        Enqueued::Ps {
+                            resident: server.resident(),
+                        }
+                    }
+                };
+                match outcome {
+                    Enqueued::FifoStarted { slot, key } => {
+                        if self.tracer.is_enabled() {
+                            self.trace_job_begin(now, p, slot, key);
+                        }
+                    }
+                    Enqueued::FifoQueued { depth } => {
+                        self.peak_queue[p] = self.peak_queue[p].max(depth);
+                        if self.tracer.is_enabled() {
+                            self.tracer.counter(
+                                now,
+                                self.trace.proc_track[p],
+                                "soc",
+                                &self.trace.proc_counter[p],
+                                depth as f64,
+                            );
+                        }
+                    }
+                    Enqueued::Ps { resident } => {
+                        if self.tracer.is_enabled() {
+                            self.tracer.counter(
+                                now,
+                                self.trace.proc_track[p],
+                                "soc",
+                                &self.trace.proc_counter[p],
+                                resident as f64,
+                            );
+                        }
                     }
                 }
-                ServerImpl::Ps(server) => {
-                    if let Some(t) = server.enqueue(now, key, work) {
-                        let generation = server.generation;
-                        sched.schedule_at(
-                            t,
-                            SocEvent::PsCheck {
-                                proc: proc.index(),
-                                generation,
-                            },
-                        );
-                    }
-                }
-            },
+            }
         }
+    }
+
+    /// Name used for an owner's spans: its label, or a positional
+    /// fallback. Only called when tracing is enabled.
+    fn owner_name(&self, owner: Owner) -> String {
+        match owner {
+            Owner::Stream(id) => {
+                let label = &self.streams[id.0].spec.label;
+                if label.is_empty() {
+                    format!("stream{}", id.0)
+                } else {
+                    label.clone()
+                }
+            }
+            Owner::Source(id) => {
+                let label = &self.sources[id.0].spec.label;
+                if label.is_empty() {
+                    format!("source{}", id.0)
+                } else {
+                    label.clone()
+                }
+            }
+        }
+    }
+
+    /// Emits the begin-span for a job entering a FIFO slot.
+    fn trace_job_begin(&self, now: SimTime, proc: usize, slot: usize, key: JobKey) {
+        self.tracer.begin(
+            now,
+            self.trace.fifo_slots[proc][slot],
+            "soc",
+            &self.owner_name(key.owner),
+            &[
+                ("seq", ArgValue::U64(key.seq)),
+                ("stage", ArgValue::U64(key.stage as u64)),
+            ],
+        );
     }
 
     fn on_stage_done(&mut self, sched: &mut Sched<'_>, key: JobKey) {
@@ -527,7 +794,24 @@ impl SocState {
                         simcore::rng::mix(id.0 as u64, st.seq) % st.spec.jitter.as_nanos().max(1);
                     next += simcore::SimDuration::from_nanos(j);
                 }
+                let started_at = st.started_at;
                 sched.schedule_at(next, SocEvent::StreamStart { stream: id.0 });
+                if self.tracer.is_enabled() {
+                    // One complete span per inference on the stream's own
+                    // track (streams keep at most one instance in flight,
+                    // so spans never overlap) — the Fig. 2 story.
+                    self.tracer.complete(
+                        started_at,
+                        now - started_at,
+                        self.trace.streams[id.0],
+                        "soc",
+                        &self.owner_name(key.owner),
+                        &[
+                            ("seq", ArgValue::U64(key.seq)),
+                            ("latency_ms", ArgValue::F64(latency_ms)),
+                        ],
+                    );
+                }
             }
             Owner::Source(id) => {
                 let st = &mut self.sources[id.0];
@@ -843,6 +1127,105 @@ mod tests {
         sim.run_until(secs(0.9));
         let m = sim.stream_metrics(s);
         assert_eq!(m.completed(), 30);
+    }
+
+    #[test]
+    fn tracer_captures_balanced_slot_spans_and_counters() {
+        use simcore::trace::{ChromeTraceSink, TracePhase, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let (t, _, _, npu) = topo_cgn();
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let mut sim = SocSim::new(t);
+        sim.set_tracer(Tracer::with_sink(sink.clone()));
+        sim.add_stream(
+            StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)).with_label("a"),
+        );
+        sim.add_stream(
+            StreamSpec::new(vec![Stage::compute(npu, ms(10.0))], ms(0.0)).with_label("b"),
+        );
+        sim.run_until(secs(0.5));
+        let buf = sink.borrow().snapshot();
+        assert!(!buf.records.is_empty());
+        // Two contending streams on a 1-slot FIFO: queue-depth counters
+        // must appear, and begin/end spans must balance per track.
+        let begins = buf
+            .records
+            .iter()
+            .filter(|r| r.phase == TracePhase::Begin)
+            .count();
+        let ends = buf
+            .records
+            .iter()
+            .filter(|r| r.phase == TracePhase::End)
+            .count();
+        assert!(begins > 0);
+        assert!(
+            begins - ends <= 1,
+            "at most the in-flight job may be unbalanced: {begins} begins, {ends} ends"
+        );
+        assert!(buf
+            .records
+            .iter()
+            .any(|r| r.phase == TracePhase::Counter && r.name == "npu queue"));
+        // Per-inference stream spans carry the stream label.
+        assert!(buf
+            .records
+            .iter()
+            .any(|r| r.phase == TracePhase::Complete && r.name == "a"));
+        assert!(sim.peak_queue(npu) >= 1);
+    }
+
+    #[test]
+    fn tracing_does_not_change_measurements() {
+        use simcore::trace::{NullSink, Tracer};
+
+        let run = |traced: bool| {
+            let (t, cpu, gpu, _) = topo_cgn();
+            let mut sim = SocSim::new(t);
+            if traced {
+                sim.set_tracer(Tracer::new(NullSink));
+            }
+            let s = sim.add_stream(StreamSpec::new(
+                vec![Stage::compute(cpu, ms(10.0)), Stage::compute(gpu, ms(3.0))],
+                ms(1.0),
+            ));
+            sim.add_source(SourceSpec::new(
+                vec![Stage::compute(gpu, ms(8.0))],
+                ms(16.0),
+                2,
+            ));
+            sim.run_until(secs(2.0));
+            let m = sim.stream_metrics(s);
+            (m.completed(), m.latency_overall().mean().to_bits())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sample_retention_cap_bounds_memory_and_keeps_recent_window() {
+        let run = |retention: SampleRetention| {
+            let (t, cpu, _, _) = topo_cgn();
+            let mut sim = SocSim::new(t);
+            sim.set_sample_retention(retention);
+            let s = sim.add_stream(StreamSpec::new(
+                vec![Stage::compute(cpu, ms(10.0))],
+                ms(0.0),
+            ));
+            sim.run_until(secs(10.0));
+            let m = sim.stream_metrics(s).clone();
+            (m.samples().len(), m.mean_since(secs(9.0)), m.completed())
+        };
+        let (full_len, full_mean, full_completed) = run(SampleRetention::Full);
+        let (cap_len, cap_mean, cap_completed) = run(SampleRetention::Cap(200));
+        assert_eq!(full_len, 1000);
+        assert!(cap_len < 400, "cap must bound the buffer: {cap_len}");
+        assert!(cap_len >= 200, "cap must keep the newest samples");
+        // Windowed queries over the retained tail and aggregate counters
+        // are unaffected.
+        assert_eq!(full_mean.map(f64::to_bits), cap_mean.map(f64::to_bits));
+        assert_eq!(full_completed, cap_completed);
     }
 
     #[test]

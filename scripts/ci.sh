@@ -35,6 +35,26 @@ echo "==> edge smoke: edge_offload --smoke --threads 2"
 cargo run --release --offline -q -p hbo-bench --bin edge_offload -- \
   --smoke --threads 2 >/dev/null
 
+# Trace smoke: run a traced 2-replicate sweep on 2 worker threads and on
+# the serial path, validate the export with the in-tree Chrome trace-JSON
+# checker (spans from the SoC, HBO-control, and BO layers must be
+# present), and require the two files to be byte-identical — the
+# determinism contract of simcore::trace, checked outside the unit-test
+# harness on the real binary.
+echo "==> trace smoke: explore --trace on 2 threads vs serial"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release --offline -q -p hbo-bench --bin explore -- \
+  SC2-CF2 --iterations 2 --initial 2 --replicates 2 --threads 2 \
+  --trace "$trace_dir/parallel.json" >/dev/null 2>&1
+cargo run --release --offline -q -p hbo-bench --bin explore -- \
+  SC2-CF2 --iterations 2 --initial 2 --replicates 2 --threads 1 \
+  --trace "$trace_dir/serial.json" >/dev/null 2>&1
+cargo run --release --offline -q -p hbo-bench --bin check_json -- \
+  "$trace_dir/parallel.json" \
+  --require-cat soc --require-cat hbo --require-cat bo
+cmp "$trace_dir/parallel.json" "$trace_dir/serial.json"
+
 # Bench smoke: a tiny-N run of the kernels bench must still emit a
 # parseable BENCH_kernels.json at the repo root, so the tracked perf
 # baseline can't silently rot when bench fixtures or the harness change.

@@ -229,6 +229,105 @@ fn edge_offload_golden_cell_is_pinned() {
     assert!(reward(2) > reward(0) && reward(2) > reward(1));
 }
 
+/// Tracing is an observer, not a participant (ISSUE 5): an activation run
+/// with a [`simcore::trace::NullSink`] installed — the "tracing compiled
+/// in but disabled" configuration — produces bit-identical published
+/// outputs to an untraced run.
+#[test]
+fn null_sink_changes_no_published_output() {
+    let spec = ScenarioSpec::sc1_cf2();
+    let plain = run_hbo(&spec, &quick_config(), 2024);
+    let nulled = marsim::experiment::run_hbo_traced(
+        &spec,
+        &quick_config(),
+        2024,
+        simcore::trace::Tracer::new(simcore::trace::NullSink),
+    );
+    assert_eq!(plain.best.point, nulled.best.point);
+    assert_eq!(plain.best_cost_trace, nulled.best_cost_trace);
+    assert_eq!(plain.records.len(), nulled.records.len());
+    for (a, b) in plain.records.iter().zip(&nulled.records) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.cost, b.cost);
+    }
+    assert_eq!(plain.telemetry, nulled.telemetry);
+}
+
+/// The merged Chrome trace of a runner sweep is byte-identical across
+/// reruns and worker-thread counts (ISSUE 5 acceptance): records carry
+/// simulated time only, and per-job buffers merge in job-index order.
+#[test]
+fn trace_export_is_byte_identical_across_reruns_and_threads() {
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 2,
+        ..HboConfig::default()
+    };
+    let jobs = || {
+        vec![
+            marsim::runner::SweepJob::derived("a", ScenarioSpec::sc2_cf2(), config.clone()),
+            marsim::runner::SweepJob::derived("b", ScenarioSpec::sc2_cf1(), config.clone()),
+            marsim::runner::SweepJob::derived("c", ScenarioSpec::sc1_cf2(), config.clone()),
+        ]
+    };
+    let trace = |threads: usize| {
+        marsim::runner::run_sweep_traced("trace_det", jobs(), 7, threads, true)
+            .trace_json()
+            .expect("traced sweep has buffers")
+    };
+    let serial = trace(1);
+    assert_eq!(serial, trace(1), "rerun must be byte-identical");
+    assert_eq!(serial, trace(2), "2 threads must match serial");
+    assert_eq!(serial, trace(4), "4 threads must match serial");
+    // And the export is valid Chrome trace JSON with spans from the SoC,
+    // HBO-control, and BO layers on every job.
+    let stats = simcore::trace::chrome_trace_stats(&serial).expect("valid Chrome trace JSON");
+    for cat in ["soc", "hbo", "bo"] {
+        assert!(stats.spans_in_cat(cat) > 0, "missing '{cat}' spans");
+    }
+}
+
+/// A traced edge session exports valid Chrome JSON covering all four
+/// instrumented layers, without perturbing the activation (ISSUE 5
+/// acceptance, exercised end to end through the public API the
+/// `trace_session` example uses).
+#[test]
+fn edge_trace_covers_all_four_layers_end_to_end() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    // Enough windows (3 + 5) that the optimizer samples an Edge
+    // allocation and the wireless link actually carries traffic.
+    let spec =
+        ScenarioSpec::sc1_cf2().with_edge(marsim::edge::EdgeSpec::wifi(2).with_uplink_mbps(5.0));
+    let config = HboConfig {
+        n_initial: 3,
+        iterations: 5,
+        ..HboConfig::default()
+    };
+    let sink = Rc::new(RefCell::new(simcore::trace::ChromeTraceSink::new()));
+    let traced = marsim::edge::run_edge_hbo_traced(
+        &spec,
+        &config,
+        17,
+        simcore::trace::Tracer::with_sink(Rc::clone(&sink)),
+    );
+    let untraced = marsim::edge::run_edge_hbo(&spec, &config, 17);
+    assert_eq!(traced.best.point, untraced.best.point);
+    assert_eq!(traced.best_cost_trace, untraced.best_cost_trace);
+
+    let job = simcore::trace::TraceJob {
+        name: "edge".to_owned(),
+        buffer: sink.borrow().snapshot(),
+    };
+    let json = simcore::trace::chrome_trace_json(&[job]);
+    let stats = simcore::trace::chrome_trace_stats(&json).expect("valid Chrome trace JSON");
+    for cat in ["soc", "edgelink", "hbo", "bo"] {
+        assert!(stats.spans_in_cat(cat) > 0, "missing '{cat}' spans");
+    }
+    assert!(stats.counters > 0, "queue-depth counters must be sampled");
+}
+
 /// The `edge_offload` sweep is bit-identical for any worker-thread count
 /// (ISSUE 4: serial == parallel for the runner-backed sweep).
 #[test]
