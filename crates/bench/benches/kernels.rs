@@ -162,16 +162,28 @@ fn bench_substrates(h: &mut Harness) {
     let img_b = iqa::render_mesh(coarse.vertices(), coarse.triangles(), &opts);
     h.bench("gmsd_96px", || black_box(iqa::gmsd(&img_a, &img_b)));
 
-    // DES throughput: one simulated second of the full SC1-CF1 app.
-    h.bench_batched(
-        "socsim_sc1cf1_1s",
-        || {
-            let mut app = marsim::MarApp::new(&marsim::ScenarioSpec::sc1_cf1());
-            app.place_all_objects();
-            app
-        },
-        |mut app| app.run_for_secs(1.0),
-    );
+    // DES throughput: one simulated second of the full SC1-CF1 app, once
+    // per future-event-list implementation. The heap row keeps the bare
+    // historical name so BENCH_kernels.json trajectories stay comparable;
+    // `sims_per_wall_sec` is the headline metric (simulated seconds per
+    // wall-clock second).
+    for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+        let name = match queue {
+            simcore::QueueKind::Heap => "socsim_sc1cf1_1s".to_owned(),
+            _ => format!("socsim_sc1cf1_1s_{}", queue.name()),
+        };
+        h.bench_sim(
+            &name,
+            1.0,
+            || {
+                let mut app =
+                    marsim::MarApp::new(&marsim::ScenarioSpec::sc1_cf1().with_queue(queue));
+                app.place_all_objects();
+                app
+            },
+            |mut app| app.run_for_secs(1.0),
+        );
+    }
 
     // Tracing overhead on the same one-second SC1-CF1 workload, all three
     // sink configurations in one run so their deltas are same-conditions:
@@ -227,26 +239,39 @@ fn bench_substrates(h: &mut Harness) {
         },
     );
 
-    // Wireless link + edge server DES: one simulated second of an
-    // 8-client closed-loop session against a 2-lane server.
-    h.bench_batched(
-        "edgesim_8c_1s",
-        || {
-            let clients: Vec<edgelink::ClientSpec> = (0..8)
-                .map(|i| edgelink::ClientSpec::mar_default(format!("c{i}")))
-                .collect();
-            edgelink::EdgeSim::new(
-                edgelink::LinkParams::wifi(),
-                edgelink::ServerParams::small(),
-                clients,
-                11,
-            )
-        },
-        |mut sim| {
-            sim.run_for_secs(1.0);
-            black_box(sim.server_counters())
-        },
-    );
+    // Wireless link + edge server DES: one simulated second of a
+    // closed-loop session against a 2-lane server, per queue kind. The
+    // 8-client cell is the production shape; the 64-client cell probes
+    // the calendar/heap crossover at a ~8× larger event population.
+    for clients in [8usize, 64] {
+        for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+            let name = match (clients, queue) {
+                (8, simcore::QueueKind::Heap) => "edgesim_8c_1s".to_owned(),
+                _ => format!("edgesim_{clients}c_1s_{}", queue.name()),
+            };
+            h.bench_sim(
+                &name,
+                1.0,
+                || {
+                    let specs: Vec<edgelink::ClientSpec> = (0..clients)
+                        .map(|i| edgelink::ClientSpec::mar_default(format!("c{i}")))
+                        .collect();
+                    edgelink::EdgeSim::new_traced_with_queue(
+                        edgelink::LinkParams::wifi(),
+                        edgelink::ServerParams::small(),
+                        specs,
+                        11,
+                        simcore::trace::Tracer::disabled(),
+                        queue,
+                    )
+                },
+                |mut sim| {
+                    sim.run_for_secs(1.0);
+                    black_box(sim.server_counters())
+                },
+            );
+        }
+    }
 }
 
 fn main() {

@@ -115,13 +115,49 @@ impl Harness {
 
     /// Benchmarks `routine` on a fresh `setup()` value per sample, timing
     /// only the routine (the criterion `iter_batched` pattern).
-    pub fn bench_batched<I, T, S, F>(&mut self, name: &str, mut setup: S, mut routine: F)
+    pub fn bench_batched<I, T, S, F>(&mut self, name: &str, setup: S, routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        if let Some(median_ns) = self.measure(name, setup, routine) {
+            println!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"warmup_iters\":{}}}",
+                self.group, name, median_ns, self.samples, self.warmup
+            );
+        }
+    }
+
+    /// Benchmarks a simulation routine that advances virtual time by
+    /// `simulated_secs` per call, reporting the headline throughput ratio
+    /// `sims_per_wall_sec` = simulated seconds ÷ wall seconds alongside
+    /// the usual median. A ratio of 1000 means the simulator runs a
+    /// thousand times faster than real time.
+    pub fn bench_sim<I, T, S, F>(&mut self, name: &str, simulated_secs: f64, setup: S, routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        if let Some(median_ns) = self.measure(name, setup, routine) {
+            let wall_secs = median_ns as f64 * 1e-9;
+            let sims_per_wall_sec = simulated_secs / wall_secs;
+            println!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"warmup_iters\":{},\"sims_per_wall_sec\":{:.1}}}",
+                self.group, name, median_ns, self.samples, self.warmup, sims_per_wall_sec
+            );
+        }
+    }
+
+    /// Shared measurement core: warm up, take N samples of
+    /// `routine(setup())` timing only the routine, return the median.
+    /// `None` when `name` fails the command-line filter.
+    fn measure<I, T, S, F>(&mut self, name: &str, mut setup: S, mut routine: F) -> Option<u128>
     where
         S: FnMut() -> I,
         F: FnMut(I) -> T,
     {
         if !self.selected(name) {
-            return;
+            return None;
         }
         for _ in 0..self.warmup {
             std::hint::black_box(routine(setup()));
@@ -135,11 +171,7 @@ impl Harness {
             })
             .collect();
         sample_ns.sort_unstable();
-        let median_ns = sample_ns[sample_ns.len() / 2];
-        println!(
-            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"warmup_iters\":{}}}",
-            self.group, name, median_ns, self.samples, self.warmup
-        );
+        Some(sample_ns[sample_ns.len() / 2])
     }
 }
 
@@ -178,6 +210,18 @@ mod tests {
         let h = parse(&["--samples=0", "--warmup", "junk"]);
         assert_eq!(h.samples, 1);
         assert_eq!(h.warmup, DEFAULT_WARMUP);
+    }
+
+    #[test]
+    fn bench_sim_respects_filter_and_samples() {
+        let mut h = Harness::new("test").samples(2);
+        h.filter = Some("sim_".to_owned());
+        let mut ran = 0;
+        h.bench_sim("sim_socsim_1s", 1.0, || (), |()| ran += 1);
+        assert_eq!(ran as u32, 2 + DEFAULT_WARMUP);
+        let mut skipped = 0;
+        h.bench_sim("other", 1.0, || (), |()| skipped += 1);
+        assert_eq!(skipped, 0);
     }
 
     #[test]

@@ -20,12 +20,11 @@
 //! clamped to be no earlier than the flow's previous delivery (link-layer
 //! in-order delivery), which the property tests pin.
 
-use std::collections::HashMap;
-
+use simcore::arena::{Arena, Handle};
 use simcore::rng::mix;
 use simcore::stats::{LogHistogram, Running};
 use simcore::trace::{ArgValue, Tracer, TrackId};
-use simcore::{Scheduler, SimDuration, SimTime, Simulator};
+use simcore::{QueueKind, Scheduler, SimDuration, SimTime, Simulator};
 
 use crate::link::{plan_transfer, ByteCounters, Direction, LinkParams};
 use crate::server::{Admission, EdgeServer, ServerParams};
@@ -141,8 +140,11 @@ impl FlowMetrics {
     }
 }
 
-/// Identity of one in-flight request.
-type ReqKey = (usize, u64); // (client, seq)
+/// Identity of one in-flight request: `(client, seq, token)`. `seq` is
+/// the monotone per-flow counter — link randomness and trace args key
+/// off it — while `token` is the raw arena handle of the request's
+/// pooled submission record.
+type ReqKey = (usize, u64, u64);
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -159,26 +161,30 @@ enum Ev {
         client: usize,
         dir: Direction,
         seq: u64,
+        token: u64,
     },
     /// An edge worker lane finished an inference.
     ServerDone { slot: usize },
     /// A rejected request retries admission.
-    AdmissionRetry { client: usize, seq: u64 },
+    AdmissionRetry { client: usize, seq: u64, token: u64 },
 }
 
 /// One client's radio + flow state.
 #[derive(Debug)]
 struct ClientState {
     spec: ClientSpec,
-    /// 1-slot uplink serializer (soc's FIFO machinery reused as a radio).
-    uplink: soc::FifoServer<u64>,
+    /// 1-slot uplink serializer (soc's FIFO machinery reused as a
+    /// radio), keyed by `(seq, token)`.
+    uplink: soc::FifoServer<(u64, u64)>,
     /// 1-slot downlink serializer.
-    downlink: soc::FifoServer<u64>,
+    downlink: soc::FifoServer<(u64, u64)>,
     /// In-order delivery clamps, per direction.
     last_up_delivery: SimTime,
     last_down_delivery: SimTime,
-    /// Submission times of in-flight requests.
-    submitted: HashMap<u64, SimTime>,
+    /// Submission times of in-flight requests, pooled: slots recycle
+    /// through the arena free list, so steady-state submissions allocate
+    /// nothing. The raw handle rides in event payloads as `token`.
+    submitted: Arena<SimTime>,
     /// Start time of the latest submission (rate anchor).
     started_at: SimTime,
     seq: u64,
@@ -244,6 +250,10 @@ impl EdgeSim {
     /// downlink radio and each edge worker lane get their own span track;
     /// the admission queue and rejections are traced as counters.
     ///
+    /// The future-event list is chosen by [`QueueKind::from_env`] (the
+    /// `HBO_EVENT_QUEUE` variable); use
+    /// [`EdgeSim::new_traced_with_queue`] for an explicit choice.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`EdgeSim::new`].
@@ -254,9 +264,34 @@ impl EdgeSim {
         master_seed: u64,
         tracer: Tracer,
     ) -> Self {
+        Self::new_traced_with_queue(
+            link,
+            server,
+            clients,
+            master_seed,
+            tracer,
+            QueueKind::from_env(),
+        )
+    }
+
+    /// [`EdgeSim::new_traced`] with an explicit future-event-list
+    /// implementation. Both kinds produce bit-identical runs; this is a
+    /// performance knob.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`EdgeSim::new`].
+    pub fn new_traced_with_queue(
+        link: LinkParams,
+        server: ServerParams,
+        clients: Vec<ClientSpec>,
+        master_seed: u64,
+        tracer: Tracer,
+        queue: QueueKind,
+    ) -> Self {
         link.validate();
         assert!(!clients.is_empty(), "need at least one client");
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::with_queue_kind(queue);
         let start = sim.now();
         let states: Vec<ClientState> = clients
             .into_iter()
@@ -266,7 +301,7 @@ impl EdgeSim {
                 downlink: soc::FifoServer::new(1, start),
                 last_up_delivery: start,
                 last_down_delivery: start,
-                submitted: HashMap::new(),
+                submitted: Arena::new(),
                 started_at: start,
                 seq: 0,
                 last_delivered_seq: 0,
@@ -312,6 +347,11 @@ impl EdgeSim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Which future-event-list implementation this simulator runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.sim.queue_kind()
     }
 
     /// Runs the simulation until `deadline`.
@@ -361,7 +401,7 @@ impl EdgeSim {
     /// Requests currently in flight (submitted, not yet delivered),
     /// across all clients.
     pub fn in_flight(&self) -> usize {
-        self.state.clients.iter().map(|c| c.submitted.len()).sum()
+        self.state.clients.iter().map(|c| c.submitted.live()).sum()
     }
 
     /// Peak admission-queue depth observed so far.
@@ -403,12 +443,19 @@ impl EdgeState {
         match ev {
             Ev::Submit { client } => self.submit(sched, client),
             Ev::LaneDone { client, dir, slot } => self.lane_done(sched, client, dir, slot),
-            Ev::Arrived { client, dir, seq } => match dir {
-                Direction::Up => self.request_arrived(sched, client, seq),
-                Direction::Down => self.response_delivered(sched, client, seq),
+            Ev::Arrived {
+                client,
+                dir,
+                seq,
+                token,
+            } => match dir {
+                Direction::Up => self.request_arrived(sched, client, seq, token),
+                Direction::Down => self.response_delivered(sched, client, seq, token),
             },
             Ev::ServerDone { slot } => self.server_done(sched, slot),
-            Ev::AdmissionRetry { client, seq } => self.offer_to_server(sched, client, seq),
+            Ev::AdmissionRetry { client, seq, token } => {
+                self.offer_to_server(sched, client, seq, token)
+            }
         }
     }
 
@@ -420,7 +467,7 @@ impl EdgeState {
         st.seq += 1;
         let seq = st.seq;
         st.started_at = now;
-        st.submitted.insert(seq, now);
+        let token = st.submitted.alloc(now).to_raw();
         st.metrics.uplink.offered += st.spec.request_bytes;
         let plan = plan_transfer(
             &self.link,
@@ -429,7 +476,7 @@ impl EdgeState {
             flow_seed,
             seq,
         );
-        let started = st.uplink.enqueue(now, seq, plan.occupancy);
+        let started = st.uplink.enqueue(now, (seq, token), plan.occupancy);
         if let Some(start) = started {
             sched.schedule_at(
                 start.done_at,
@@ -455,7 +502,7 @@ impl EdgeState {
             Direction::Up => (st.spec.request_bytes, &mut st.uplink),
             Direction::Down => (st.spec.response_bytes, &mut st.downlink),
         };
-        let (seq, next) = lane.on_done(now, slot);
+        let ((seq, token), next) = lane.on_done(now, slot);
         if let Some(start) = next {
             sched.schedule_at(
                 start.done_at,
@@ -485,7 +532,15 @@ impl EdgeState {
         // transfer of the same flow.
         let arrive = (now + plan.propagation).max(*last);
         *last = arrive;
-        sched.schedule_at(arrive, Ev::Arrived { client, dir, seq });
+        sched.schedule_at(
+            arrive,
+            Ev::Arrived {
+                client,
+                dir,
+                seq,
+                token,
+            },
+        );
         if self.tracer.is_enabled() {
             let track = match dir {
                 Direction::Up => self.trace.up[client],
@@ -493,7 +548,7 @@ impl EdgeState {
             };
             self.tracer.end(now, track, "edgelink");
             if let Some(start) = next {
-                self.trace_lane_begin(now, client, dir, start.key);
+                self.trace_lane_begin(now, client, dir, start.key.0);
             }
         }
     }
@@ -522,15 +577,15 @@ impl EdgeState {
     }
 
     /// A request reached the edge: offer it to the admission queue.
-    fn request_arrived(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
+    fn request_arrived(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64, token: u64) {
         self.clients[client].metrics.uplink.delivered += self.clients[client].spec.request_bytes;
-        self.offer_to_server(sched, client, seq);
+        self.offer_to_server(sched, client, seq, token);
     }
 
-    fn offer_to_server(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
+    fn offer_to_server(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64, token: u64) {
         let now = sched.now();
         let work = SimDuration::from_millis_f64(self.clients[client].spec.infer_ms);
-        let admission = self.server.try_admit(now, (client, seq), work);
+        let admission = self.server.try_admit(now, (client, seq, token), work);
         match admission {
             Admission::Started(start) => {
                 sched.schedule_at(start.done_at, Ev::ServerDone { slot: start.slot });
@@ -557,7 +612,7 @@ impl EdgeState {
                 // timeout, which rate-bounds re-offers.
                 sched.schedule_after(
                     SimDuration::from_millis_f64(self.link.retx_timeout_ms.max(0.5)),
-                    Ev::AdmissionRetry { client, seq },
+                    Ev::AdmissionRetry { client, seq, token },
                 );
                 if self.tracer.is_enabled() {
                     self.tracer.counter(
@@ -575,7 +630,7 @@ impl EdgeState {
     /// Emits the begin-span for a request entering an edge worker lane.
     /// Only called when tracing is enabled.
     fn trace_server_begin(&self, now: SimTime, slot: usize, key: ReqKey) {
-        let (client, seq) = key;
+        let (client, seq, _token) = key;
         self.tracer.begin(
             now,
             self.trace.lanes[slot],
@@ -588,7 +643,7 @@ impl EdgeState {
     /// An edge lane finished: ship the response down.
     fn server_done(&mut self, sched: &mut Sched<'_>, slot: usize) {
         let now = sched.now();
-        let ((client, seq), next) = self.server.on_done(now, slot);
+        let ((client, seq, token), next) = self.server.on_done(now, slot);
         let depth = self.server.queue_len();
         if let Some(start) = next {
             sched.schedule_at(start.done_at, Ev::ServerDone { slot: start.slot });
@@ -616,7 +671,7 @@ impl EdgeState {
             flow_seed,
             seq,
         );
-        let started = st.downlink.enqueue(now, seq, plan.occupancy);
+        let started = st.downlink.enqueue(now, (seq, token), plan.occupancy);
         if let Some(start) = started {
             sched.schedule_at(
                 start.done_at,
@@ -634,14 +689,14 @@ impl EdgeState {
 
     /// The response reached the client: the round trip is complete; the
     /// closed loop schedules the next submission.
-    fn response_delivered(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64) {
+    fn response_delivered(&mut self, sched: &mut Sched<'_>, client: usize, seq: u64, token: u64) {
         let now = sched.now();
         let master_seed = self.master_seed;
         let st = &mut self.clients[client];
         st.metrics.downlink.delivered += st.spec.response_bytes;
         let submitted = st
             .submitted
-            .remove(&seq)
+            .try_free(Handle::from_raw(token))
             .expect("delivery of an unknown request");
         assert!(
             seq > st.last_delivered_seq,

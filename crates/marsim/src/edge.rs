@@ -31,7 +31,7 @@ use nnmodel::Delegate;
 use simcore::rand::SeedableRng;
 use simcore::rng::mix;
 use simcore::trace::Tracer;
-use simcore::SimTime;
+use simcore::{QueueKind, SimTime};
 
 use crate::app::{task_period_ms, MarApp, TASK_GAP_MS, TASK_JITTER_MS};
 use crate::experiment::{trace_hbo_window, HboRunResult, CONTROL_PERIOD_SECS};
@@ -170,6 +170,9 @@ pub struct EdgeWorld {
     cum_rejected: u64,
     cum_retransmits: u64,
     edge_peak_queue: usize,
+    /// Future-event-list kind for every per-window [`EdgeSim`], inherited
+    /// from the scenario so the device and edge sims always agree.
+    queue: QueueKind,
 }
 
 impl EdgeWorld {
@@ -220,6 +223,7 @@ impl EdgeWorld {
             cum_rejected: 0,
             cum_retransmits: 0,
             edge_peak_queue: 0,
+            queue: spec.queue,
         }
     }
 
@@ -309,12 +313,13 @@ impl EdgeWorld {
             // its tracer by the window start puts its spans on the app
             // timeline (and the sink's track dedup keeps one set of
             // radio/lane tracks across windows).
-            let mut esim = EdgeSim::new_traced(
+            let mut esim = EdgeSim::new_traced_with_queue(
                 self.edge.link,
                 self.edge.server,
                 flows,
                 seed,
                 self.tracer.offset_by(window_start - SimTime::ZERO),
+                self.queue,
             );
             esim.run_for_secs(secs);
 

@@ -1,0 +1,365 @@
+//! Slab/free-list arena with generational handles, for per-event hot
+//! state that would otherwise live in per-event heap allocations or
+//! hash maps.
+//!
+//! Slots are recycled through a free list, so steady-state usage does
+//! zero heap allocation: once the arena has grown to the high-water mark
+//! of concurrently-live values, `alloc`/`free` are push/pop on a `Vec`.
+//! Handles are generational — freeing a slot bumps its generation, so a
+//! stale [`Handle`] held across a free is detected (`get` panics,
+//! `try_get`/`try_free` return `None`) instead of silently reading the
+//! next tenant's state.
+//!
+//! Freeing removes the value from the slot (`Option::take`), which is
+//! the poison: there is no way to read a freed value through any handle,
+//! stale or fresh, in any build profile. `simcore` forbids `unsafe`, so
+//! this is byte-poisoning's safe equivalent.
+//!
+//! Determinism: slot assignment depends only on the sequence of
+//! `alloc`/`free` calls (free list is LIFO), so identical event streams
+//! produce identical handles — safe to fold into anything that must stay
+//! bit-reproducible.
+
+/// A generational reference to an arena slot.
+///
+/// Encodable as a `u64` ([`Handle::to_raw`]) so simulators can carry it
+/// inside event payloads and job keys without making those types
+/// generic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle {
+    idx: u32,
+    gen: u32,
+}
+
+impl Handle {
+    /// Packs the handle into a `u64` (`gen` in the high 32 bits).
+    pub fn to_raw(self) -> u64 {
+        (u64::from(self.gen) << 32) | u64::from(self.idx)
+    }
+
+    /// Unpacks a handle produced by [`Handle::to_raw`].
+    pub fn from_raw(raw: u64) -> Self {
+        Handle {
+            idx: raw as u32,
+            gen: (raw >> 32) as u32,
+        }
+    }
+
+    /// The slot index (stable for the lifetime of the allocation).
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+}
+
+/// Growable slab with LIFO free-list recycling and generation checks.
+/// See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Creates an empty arena with room for `cap` values before the
+    /// first growth reallocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            gens: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Stores `value`, recycling the most recently freed slot if one
+    /// exists, and returns its handle.
+    pub fn alloc(&mut self, value: T) -> Handle {
+        if let Some(idx) = self.free.pop() {
+            let i = idx as usize;
+            debug_assert!(self.slots[i].is_none(), "free-listed slot still occupied");
+            self.slots[i] = Some(value);
+            Handle {
+                idx,
+                gen: self.gens[i],
+            }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena slot count exceeds u32");
+            self.slots.push(Some(value));
+            self.gens.push(0);
+            Handle { idx, gen: 0 }
+        }
+    }
+
+    /// Returns a reference to the value at `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale (freed, or from before a [`clear`](Arena::clear)).
+    pub fn get(&self, h: Handle) -> &T {
+        self.try_get(h).expect("stale arena handle")
+    }
+
+    /// Returns a mutable reference to the value at `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale.
+    pub fn get_mut(&mut self, h: Handle) -> &mut T {
+        match self.slots.get_mut(h.idx as usize) {
+            Some(slot) if self.gens[h.idx as usize] == h.gen => {
+                slot.as_mut().expect("stale arena handle")
+            }
+            _ => panic!("stale arena handle"),
+        }
+    }
+
+    /// Returns the value at `h`, or `None` if the handle is stale.
+    pub fn try_get(&self, h: Handle) -> Option<&T> {
+        let i = h.idx as usize;
+        if self.gens.get(i) == Some(&h.gen) {
+            self.slots[i].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// True if `h` still refers to a live value.
+    pub fn contains(&self, h: Handle) -> bool {
+        self.try_get(h).is_some()
+    }
+
+    /// Frees the slot at `h` and returns its value. The slot's
+    /// generation is bumped (invalidating `h` and any copies) and the
+    /// slot joins the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is stale (double-free).
+    pub fn free(&mut self, h: Handle) -> T {
+        self.try_free(h).expect("stale arena handle (double free?)")
+    }
+
+    /// Frees the slot at `h` if the handle is still live; returns `None`
+    /// on a stale handle instead of panicking. The defensive flavor for
+    /// paths where a value may have been legitimately retired already.
+    pub fn try_free(&mut self, h: Handle) -> Option<T> {
+        let i = h.idx as usize;
+        if self.gens.get(i) != Some(&h.gen) {
+            return None;
+        }
+        let value = self.slots[i].take()?;
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.free.push(h.idx);
+        Some(value)
+    }
+
+    /// Number of live values.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True if no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.live() == 0
+    }
+
+    /// Total slots (live + free) — the high-water mark of concurrent
+    /// liveness.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Frees every live value, bumping each freed slot's generation so
+    /// all outstanding handles go stale. Slot storage is retained for
+    /// reuse. Free-list order after a clear is the reverse slot order,
+    /// deterministically.
+    pub fn clear(&mut self) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].take().is_some() {
+                self.gens[i] = self.gens[i].wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+    }
+
+    /// Iterates over live `(Handle, &T)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref().map(|v| {
+                (
+                    Handle {
+                        idx: i as u32,
+                        gen: self.gens[i],
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use crate::{prop_assert, prop_assert_eq};
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut a = Arena::new();
+        let h = a.alloc(41);
+        *a.get_mut(h) += 1;
+        assert_eq!(*a.get(h), 42);
+        assert_eq!(a.live(), 1);
+        assert_eq!(a.free(h), 42);
+        assert_eq!(a.live(), 0);
+        assert!(!a.contains(h));
+    }
+
+    #[test]
+    fn recycled_slot_never_leaks_prior_state() {
+        let mut a = Arena::new();
+        let h1 = a.alloc("secret");
+        a.free(h1);
+        let h2 = a.alloc("fresh");
+        assert_eq!(h2.index(), h1.index(), "slot must be recycled");
+        assert_ne!(h2, h1, "generation must differ");
+        assert!(
+            a.try_get(h1).is_none(),
+            "old handle must not see new tenant"
+        );
+        assert_eq!(*a.get(h2), "fresh");
+    }
+
+    #[test]
+    #[should_panic(expected = "stale arena handle")]
+    fn stale_get_panics() {
+        let mut a = Arena::new();
+        let h = a.alloc(1);
+        a.free(h);
+        let _ = a.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = Arena::new();
+        let h = a.alloc(1);
+        a.free(h);
+        a.free(h);
+    }
+
+    #[test]
+    fn try_free_is_defensive() {
+        let mut a = Arena::new();
+        let h = a.alloc(7);
+        assert_eq!(a.try_free(h), Some(7));
+        assert_eq!(a.try_free(h), None);
+    }
+
+    #[test]
+    fn growth_keeps_existing_handles_stable() {
+        let mut a = Arena::with_capacity(2);
+        let handles: Vec<Handle> = (0..1000u32).map(|i| a.alloc(i)).collect();
+        // Growth has reallocated the slot vec several times; every early
+        // handle must still resolve to its original value.
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(*a.get(*h), i as u32);
+            assert_eq!(h.index(), i);
+        }
+        assert_eq!(a.capacity(), 1000);
+    }
+
+    #[test]
+    fn clear_invalidates_all_handles_and_recycles_slots() {
+        let mut a = Arena::new();
+        let hs: Vec<Handle> = (0..10).map(|i| a.alloc(i)).collect();
+        a.clear();
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.capacity(), 10, "storage retained");
+        for h in &hs {
+            assert!(a.try_get(*h).is_none(), "pre-clear handle must be stale");
+        }
+        let h = a.alloc(99);
+        assert!(h.index() < 10, "cleared slots are recycled, not appended");
+        assert_eq!(*a.get(h), 99);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let h = Handle { idx: 123, gen: 456 };
+        assert_eq!(Handle::from_raw(h.to_raw()), h);
+    }
+
+    /// Property: under random alloc/free/clear interleavings, a freed or
+    /// cleared slot never leaks prior state — every live handle reads
+    /// back exactly the value it was allocated with, and every retired
+    /// handle is stale. Mirrors a HashMap<u64, T> model.
+    #[test]
+    fn check_arena_matches_hashmap_model() {
+        use std::collections::HashMap;
+        let ops = check::vec(check::u64s(0..100), 1..400);
+        check::check("arena_matches_hashmap_model", ops, |ops| {
+            let mut arena: Arena<u64> = Arena::new();
+            let mut model: HashMap<Handle, u64> = HashMap::new();
+            let mut next_value = 0u64;
+            let mut retired: Vec<Handle> = Vec::new();
+            for &op in ops {
+                match op % 10 {
+                    // 60%: alloc
+                    0..=5 => {
+                        let h = arena.alloc(next_value);
+                        prop_assert!(
+                            model.insert(h, next_value).is_none(),
+                            "handle reused while live"
+                        );
+                        next_value += 1;
+                    }
+                    // 30%: free a pseudo-random live handle
+                    6..=8 => {
+                        if !model.is_empty() {
+                            let mut keys: Vec<Handle> = model.keys().copied().collect();
+                            keys.sort();
+                            let h = keys[(op as usize / 10) % keys.len()];
+                            let expect = model.remove(&h).unwrap();
+                            prop_assert_eq!(arena.free(h), expect);
+                            retired.push(h);
+                        }
+                    }
+                    // 10%: clear
+                    _ => {
+                        arena.clear();
+                        retired.extend(model.keys().copied());
+                        model.clear();
+                    }
+                }
+                prop_assert_eq!(arena.live(), model.len());
+                for (h, v) in &model {
+                    prop_assert_eq!(arena.try_get(*h), Some(v));
+                }
+                for h in &retired {
+                    prop_assert!(
+                        arena.try_get(*h).is_none(),
+                        "retired handle must never resolve"
+                    );
+                }
+            }
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,603 @@
+//! Calendar queue: a bucketed time wheel with an overflow list and
+//! automatic resize (Brown, CACM 1988), as the alternative future-event
+//! list behind [`FutureEventList`].
+//!
+//! # Shape
+//!
+//! Time is quantized into buckets of `2^width_log2` nanoseconds; an
+//! entry at time `t` has *virtual bucket* `vb = t >> width_log2` and
+//! lives in slot `vb & (nbuckets - 1)` (the bucket count is a power of
+//! two). A *hand* `cur_vb` tracks the virtual bucket of the last pop;
+//! entries whose `vb` lies within one wheel revolution of the hand
+//! (`vb < cur_vb + nbuckets`) go on the wheel, everything farther goes
+//! to an unsorted overflow list whose minimum is cached so peeks stay
+//! O(1) against it.
+//!
+//! # Resize policy
+//!
+//! The wheel grows (doubling, capped at 2^20 buckets) when the
+//! population exceeds twice the bucket count and shrinks (halving, floor
+//! 16) when it falls below a quarter of it. Each rebuild re-derives the
+//! bucket width from the median inter-event gap of a bounded sample of
+//! pending entries, aiming for roughly one entry per bucket — this is
+//! what makes schedule/pop amortized O(1) when the event population's
+//! spacing is reasonably stationary.
+//!
+//! # Determinism
+//!
+//! Pop order is exactly `(time, seq)` — identical to
+//! [`EventQueue`](crate::EventQueue), pinned by `tests/differential.rs`.
+//! Nothing here consults wall-clock time or randomness; bucket sizing
+//! only changes *where* entries wait, never the order they leave.
+
+use std::cell::Cell;
+
+use crate::queue::FutureEventList;
+use crate::time::SimTime;
+
+/// Minimum (and initial) bucket count.
+const MIN_BUCKETS: usize = 16;
+/// Bucket-count cap: 2^20 buckets ≈ 8 MiB of empty `Vec` headers, far
+/// beyond any event population the simulators reach.
+const MAX_BUCKETS: usize = 1 << 20;
+/// At most this many entries are sampled to estimate the bucket width.
+const WIDTH_SAMPLE: usize = 64;
+/// Initial bucket width: 2^16 ns ≈ 65.5 µs, in the right decade for the
+/// per-frame event spacing of the MAR workloads; rebuilds re-measure.
+const INITIAL_WIDTH_LOG2: u32 = 16;
+
+struct Entry<E> {
+    time: u64,
+    seq: u64,
+    event: E,
+}
+
+/// Where the cached minimum entry physically lives. Indices stay valid
+/// between mutations because inserts only append and the cache is
+/// invalidated on every pop, rebuild, and clear.
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    Bucket { slot: u32, idx: u32 },
+    Overflow { idx: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CachedMin {
+    time: u64,
+    seq: u64,
+    loc: Loc,
+}
+
+/// Calendar-queue future-event list. See the module docs for the
+/// algorithm; see [`FutureEventList`] for the contract it shares with
+/// [`EventQueue`](crate::EventQueue).
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Entries beyond the current wheel horizon, unsorted.
+    overflow: Vec<Entry<E>>,
+    /// `(time, seq, index)` of the overflow minimum, kept exact so the
+    /// rotation scan never has to walk the overflow list on peek.
+    overflow_min: Option<(u64, u64, u32)>,
+    width_log2: u32,
+    /// Virtual bucket of the hand: no pending entry precedes it.
+    cur_vb: u64,
+    len: usize,
+    next_seq: u64,
+    /// Minimum found by the last peek, reused by the following pop so
+    /// `peek_time` + `pop` (the `run_until` pattern) scans once, not
+    /// twice. `Cell` keeps `peek_time(&self)` zero-cost to cache; the
+    /// type stays `Send`, which is all the thread-pool runners need.
+    cached_min: Cell<Option<CachedMin>>,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the initial bucket count and width.
+    pub fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            overflow_min: None,
+            width_log2: INITIAL_WIDTH_LOG2,
+            cur_vb: 0,
+            len: 0,
+            next_seq: 0,
+            cached_min: Cell::new(None),
+        }
+    }
+
+    /// Current bucket count (test/diagnostic hook for resize behavior).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of entries currently parked on the overflow list
+    /// (test/diagnostic hook).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Schedules `event` at `time` with the next sequence number.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let t = time.as_nanos();
+        let vb = t >> self.width_log2;
+        if self.len == 0 {
+            // Empty wheel: park the hand at the new entry so the window
+            // starts where the action is.
+            self.cur_vb = vb;
+        } else if vb < self.cur_vb {
+            // An entry before the hand (e.g. scheduled from outside any
+            // handler, or a test driving arbitrary times). Move the hand
+            // back; entries already on the wheel beyond the (now
+            // shrunken) window are still found, because the rotation
+            // scan falls back to a full-wheel scan and any such entry is
+            // strictly later than every in-window one.
+            self.cur_vb = vb;
+        }
+        let loc = self.place(Entry {
+            time: t,
+            seq,
+            event,
+        });
+        if let Some(c) = self.cached_min.get() {
+            if (t, seq) < (c.time, c.seq) {
+                self.cached_min.set(Some(CachedMin { time: t, seq, loc }));
+            }
+        }
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    /// Removes and returns the earliest `(time, seq, event)` entry.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let min = self
+            .cached_min
+            .take()
+            .or_else(|| self.find_min())
+            .expect("non-empty queue must have a minimum");
+        let entry = match min.loc {
+            Loc::Bucket { slot, idx } => self.buckets[slot as usize].swap_remove(idx as usize),
+            Loc::Overflow { idx } => self.overflow.swap_remove(idx as usize),
+        };
+        debug_assert_eq!((entry.time, entry.seq), (min.time, min.seq));
+        self.len -= 1;
+        self.cur_vb = entry.time >> self.width_log2;
+        if matches!(min.loc, Loc::Overflow { .. }) {
+            // The hand jumped to an overflow entry: entries that were
+            // beyond the old horizon may be in-window now. Migrate them
+            // and refresh the cached overflow minimum (swap_remove also
+            // invalidated its index).
+            self.migrate_overflow();
+        }
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
+        }
+        Some((SimTime::from_nanos(entry.time), entry.seq, entry.event))
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(t, _, e)| (t, e))
+    }
+
+    /// The firing time of the earliest pending event, if any. Caches the
+    /// scan result for the pop that typically follows.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(c) = self.cached_min.get() {
+            return Some(SimTime::from_nanos(c.time));
+        }
+        let min = self
+            .find_min()
+            .expect("non-empty queue must have a minimum");
+        self.cached_min.set(Some(min));
+        Some(SimTime::from_nanos(min.time))
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all pending entries. Like
+    /// [`EventQueue::clear`](crate::EventQueue::clear), the sequence
+    /// counter is deliberately preserved.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.overflow_min = None;
+        self.len = 0;
+        self.cached_min.set(None);
+    }
+
+    /// The sequence number the next scheduled event will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// First virtual bucket past the wheel window.
+    fn horizon(&self) -> u64 {
+        self.cur_vb.saturating_add(self.buckets.len() as u64)
+    }
+
+    /// Files an entry on the wheel or the overflow list according to the
+    /// current hand/window, maintaining `overflow_min` and `len`. Does
+    /// not touch the hand, the cache, or trigger resize — callers own
+    /// those.
+    fn place(&mut self, e: Entry<E>) -> Loc {
+        let vb = e.time >> self.width_log2;
+        let loc;
+        if vb >= self.horizon() {
+            let idx = self.overflow.len() as u32;
+            if self
+                .overflow_min
+                .is_none_or(|(t, s, _)| (e.time, e.seq) < (t, s))
+            {
+                self.overflow_min = Some((e.time, e.seq, idx));
+            }
+            loc = Loc::Overflow { idx };
+            self.overflow.push(e);
+        } else {
+            let slot = (vb & (self.buckets.len() as u64 - 1)) as usize;
+            loc = Loc::Bucket {
+                slot: slot as u32,
+                idx: self.buckets[slot].len() as u32,
+            };
+            self.buckets[slot].push(e);
+        }
+        self.len += 1;
+        loc
+    }
+
+    /// Scans for the minimum `(time, seq)` entry. Three sources, in
+    /// order of preference:
+    ///
+    /// 1. Rotation scan: walk virtual buckets from the hand; the first
+    ///    one holding an in-window entry bounds the wheel minimum
+    ///    (entries in later virtual buckets are strictly later).
+    /// 2. Full-wheel fallback: only needed when wheel entries exist but
+    ///    all lie beyond the window (possible after the hand moved
+    ///    backwards); any such entry is later than any in-window one, so
+    ///    this never races case 1.
+    /// 3. The cached overflow minimum, compared last.
+    fn find_min(&self) -> Option<CachedMin> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len() as u64;
+        let mask = n - 1;
+        let mut best: Option<CachedMin> = None;
+        for d in 0..n {
+            let vb = match self.cur_vb.checked_add(d) {
+                Some(vb) => vb,
+                None => break,
+            };
+            let slot = (vb & mask) as usize;
+            for (i, e) in self.buckets[slot].iter().enumerate() {
+                if e.time >> self.width_log2 == vb
+                    && best.is_none_or(|b| (e.time, e.seq) < (b.time, b.seq))
+                {
+                    best = Some(CachedMin {
+                        time: e.time,
+                        seq: e.seq,
+                        loc: Loc::Bucket {
+                            slot: slot as u32,
+                            idx: i as u32,
+                        },
+                    });
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        if best.is_none() && self.len > self.overflow.len() {
+            for (slot, bucket) in self.buckets.iter().enumerate() {
+                for (i, e) in bucket.iter().enumerate() {
+                    if best.is_none_or(|b| (e.time, e.seq) < (b.time, b.seq)) {
+                        best = Some(CachedMin {
+                            time: e.time,
+                            seq: e.seq,
+                            loc: Loc::Bucket {
+                                slot: slot as u32,
+                                idx: i as u32,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        if let Some((t, s, idx)) = self.overflow_min {
+            if best.is_none_or(|b| (t, s) < (b.time, b.seq)) {
+                best = Some(CachedMin {
+                    time: t,
+                    seq: s,
+                    loc: Loc::Overflow { idx },
+                });
+            }
+        }
+        best
+    }
+
+    /// Moves overflow entries that now fall inside the wheel window onto
+    /// the wheel and recomputes the cached overflow minimum.
+    fn migrate_overflow(&mut self) {
+        self.overflow_min = None;
+        let horizon = self.horizon();
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let vb = self.overflow[i].time >> self.width_log2;
+            if vb < horizon {
+                let e = self.overflow.swap_remove(i);
+                self.len -= 1; // place() re-counts it
+                self.place(e);
+            } else {
+                let e = &self.overflow[i];
+                if self
+                    .overflow_min
+                    .is_none_or(|(t, s, _)| (e.time, e.seq) < (t, s))
+                {
+                    self.overflow_min = Some((e.time, e.seq, i as u32));
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Rebuilds the wheel with `new_buckets` buckets and a width
+    /// re-derived from the pending population, then refiles every entry.
+    fn rebuild(&mut self, new_buckets: usize) {
+        let new_buckets = new_buckets.clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.append(&mut self.overflow);
+        self.overflow_min = None;
+        self.cached_min.set(None);
+        if self.buckets.len() < new_buckets {
+            self.buckets.resize_with(new_buckets, Vec::new);
+        } else {
+            self.buckets.truncate(new_buckets);
+        }
+        if let Some(w) = choose_width_log2(&all) {
+            self.width_log2 = w;
+        }
+        // Park the hand at the earliest pending entry under the new
+        // width (min over times; pop order is untouched by where the
+        // hand sits, only scan cost is).
+        if let Some(min_t) = all.iter().map(|e| e.time).min() {
+            self.cur_vb = min_t >> self.width_log2;
+        }
+        self.len = 0;
+        for e in all {
+            self.place(e);
+        }
+    }
+}
+
+/// Picks `width_log2` so a bucket spans roughly twice the median
+/// inter-event gap of a bounded sample — the classic calendar-queue
+/// heuristic for ~O(1) buckets. Returns `None` when the sample has no
+/// positive gap (fewer than two distinct times), meaning "keep the
+/// current width".
+fn choose_width_log2<E>(entries: &[Entry<E>]) -> Option<u32> {
+    let mut sample: Vec<u64> = entries.iter().take(WIDTH_SAMPLE).map(|e| e.time).collect();
+    sample.sort_unstable();
+    let mut gaps: Vec<u64> = sample
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|&g| g > 0)
+        .collect();
+    if gaps.is_empty() {
+        return None;
+    }
+    gaps.sort_unstable();
+    let median = gaps[gaps.len() / 2];
+    let target = median.saturating_mul(2).max(1);
+    // ceil(log2(target)), clamped so `time >> width_log2` keeps several
+    // usable bits (2^40 ns ≈ 18 minutes per bucket at the top end).
+    let w = 64 - target.leading_zeros();
+    Some(w.min(40))
+}
+
+impl<E> FutureEventList<E> for CalendarQueue<E> {
+    fn schedule(&mut self, time: SimTime, event: E) {
+        CalendarQueue::schedule(self, time, event);
+    }
+
+    fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        CalendarQueue::pop_entry(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+
+    fn clear(&mut self) {
+        CalendarQueue::clear(self);
+    }
+
+    fn next_seq(&self) -> u64 {
+        CalendarQueue::next_seq(self)
+    }
+}
+
+impl<E> std::fmt::Debug for CalendarQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalendarQueue")
+            .field("pending", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("overflow", &self.overflow.len())
+            .field("width_log2", &self.width_log2)
+            .field("cur_vb", &self.cur_vb)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<E>(q: &mut CalendarQueue<E>) -> Vec<(u64, u64)> {
+        std::iter::from_fn(|| q.pop_entry().map(|(t, s, _)| (t.as_nanos(), s))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_burst_pops_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u32 {
+            q.schedule(SimTime::from_nanos(42), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_outlier_lands_in_overflow_and_still_pops_last() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_nanos(u64::MAX / 2), 'z');
+        assert_eq!(q.overflow_len(), 0, "first entry parks the hand at itself");
+        q.schedule(SimTime::from_nanos(5), 'a');
+        // 'z' was re-judged nowhere; it sits on the wheel relative to the
+        // old hand, but the moved-back hand makes the full-wheel fallback
+        // find 'a' first.
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap().1, 'z');
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn growth_resize_triggers_and_preserves_order() {
+        let mut q = CalendarQueue::new();
+        let n0 = q.bucket_count();
+        for i in 0..10_000u64 {
+            // Spread: forces both in-window and overflow placements.
+            q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+        }
+        assert!(
+            q.bucket_count() > n0,
+            "population 10000 must grow the wheel"
+        );
+        let popped = drain(&mut q);
+        let mut expected = popped.clone();
+        expected.sort();
+        assert_eq!(popped, expected);
+        assert_eq!(popped.len(), 10_000);
+    }
+
+    #[test]
+    fn shrink_resize_triggers_on_drain() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_nanos(i * 1000), i);
+        }
+        let grown = q.bucket_count();
+        for _ in 0..9_990 {
+            q.pop();
+        }
+        assert!(q.bucket_count() < grown, "draining must shrink the wheel");
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = CalendarQueue::new();
+        let mut popped = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..20u64 {
+                q.schedule(SimTime::from_nanos(round * 1_000 + (i * 37) % 900), ());
+            }
+            for _ in 0..10 {
+                let (t, s, ()) = q.pop_entry().unwrap();
+                popped.push((t.as_nanos(), s));
+            }
+        }
+        while let Some((t, s, ())) = q.pop_entry() {
+            popped.push((t.as_nanos(), s));
+        }
+        assert_eq!(popped.len(), 1000);
+        // Each pop's time is >= the previous pop's time *at the moment it
+        // happened* only within a drain phase; the global sorted check
+        // applies to the final full drain tail instead. Simplest robust
+        // check: re-popping everything sorted by (time, seq) must match
+        // what a reference sort says for the drain tail.
+        let tail = &popped[500..];
+        let mut sorted_tail = tail.to_vec();
+        sorted_tail.sort();
+        assert_eq!(tail, &sorted_tail[..]);
+    }
+
+    #[test]
+    fn peek_then_pop_agree() {
+        let mut q = CalendarQueue::new();
+        for i in 0..200u64 {
+            q.schedule(SimTime::from_nanos((i * 131) % 5000), i);
+        }
+        while let Some(t) = q.peek_time() {
+            let (pt, _, _) = q.pop_entry().unwrap();
+            assert_eq!(t, pt);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_preserves_next_seq() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::from_nanos(1), 'a');
+        q.schedule(SimTime::from_nanos(2), 'b');
+        assert_eq!(q.next_seq(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_seq(), 2, "clear must not re-issue seq numbers");
+        q.schedule(SimTime::from_nanos(3), 'c');
+        let (_, seq, e) = q.pop_entry().unwrap();
+        assert_eq!((seq, e), (2, 'c'));
+    }
+
+    #[test]
+    fn zero_and_max_times() {
+        let mut q = CalendarQueue::new();
+        q.schedule(SimTime::MAX, 'm');
+        q.schedule(SimTime::ZERO, 'z');
+        q.schedule(SimTime::MAX, 'n');
+        assert_eq!(q.pop().unwrap().1, 'z');
+        assert_eq!(q.pop().unwrap().1, 'm');
+        assert_eq!(q.pop().unwrap().1, 'n');
+    }
+}

@@ -6,8 +6,13 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time with
 //!   total ordering (no floating-point heap keys).
-//! * [`EventQueue`] — a deterministic future-event list: ties in time are
-//!   broken by insertion sequence, so replays are bit-identical.
+//! * [`EventQueue`] / [`CalendarQueue`] — two deterministic future-event
+//!   lists (binary heap and bucketed calendar queue) behind the
+//!   [`FutureEventList`] trait: ties in time are broken by insertion
+//!   sequence, so replays are bit-identical on either, and the choice
+//!   ([`QueueKind`]) is a pure performance knob.
+//! * [`arena`] — a slab/free-list pool with generational handles so
+//!   per-event hot state recycles slots instead of heap-allocating.
 //! * [`Simulator`] — a thin driver that pops events and hands them to a
 //!   user-supplied handler together with a scheduling context.
 //! * [`rand`] — an in-tree deterministic PRNG (xoshiro256++) with a
@@ -43,6 +48,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+mod calendar;
 pub mod check;
 pub mod pool;
 mod queue;
@@ -52,5 +59,6 @@ pub mod stats;
 mod time;
 pub mod trace;
 
-pub use queue::{EventQueue, Scheduler, Simulator};
+pub use calendar::CalendarQueue;
+pub use queue::{EventQueue, FutureEventList, FutureEvents, QueueKind, Scheduler, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,230 @@
+//! Differential suite: `CalendarQueue` must be observationally identical
+//! to `EventQueue` — same `(time, seq, event)` pop sequence, same
+//! `peek_time`, same `len`, same `next_seq` — under arbitrary
+//! schedule/pop/clear interleavings. This is the invariant that lets the
+//! simulators pick a queue implementation as a pure performance knob
+//! without perturbing a single RNG draw or published figure.
+
+use simcore::check;
+use simcore::prop_assert_eq;
+use simcore::{CalendarQueue, EventQueue, FutureEventList, SimTime};
+
+/// One step of a queue workload. Decoded from a `(selector, a, b)` u64
+/// triple so the property framework's shrinker applies directly.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule `count` events at `time` (same-instant burst when
+    /// `count` is large).
+    Schedule { time: u64, count: u64 },
+    /// Schedule one far-future outlier at `time << shift` — lands in the
+    /// calendar overflow list and, in volume, forces resizes.
+    ScheduleFar { time: u64, shift: u32 },
+    /// Pop up to `count` events, checking each against the twin.
+    Pop { count: u64 },
+    /// Peek without popping.
+    Peek,
+    /// Drop everything (sequence counters must survive).
+    Clear,
+}
+
+fn decode(step: &(u64, u64, u64)) -> Op {
+    let (sel, a, b) = *step;
+    match sel % 16 {
+        // Scheduling dominates so queues actually fill up.
+        0..=5 => Op::Schedule {
+            time: a % 1_000_000,
+            count: 1 + b % 4,
+        },
+        // Occasional large same-instant burst.
+        6 => Op::Schedule {
+            time: a % 1_000_000,
+            count: 64 + b % 200,
+        },
+        7..=8 => Op::ScheduleFar {
+            time: a,
+            shift: (b % 24) as u32,
+        },
+        9..=12 => Op::Pop { count: 1 + b % 48 },
+        13..=14 => Op::Peek,
+        _ => Op::Clear,
+    }
+}
+
+/// Drives both queues through the same op sequence, asserting lockstep
+/// observational equality after every step.
+fn run_differential(ops: &[(u64, u64, u64)]) -> Result<(), String> {
+    let mut heap: EventQueue<u64> = EventQueue::new();
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    let mut payload = 0u64;
+    for step in ops {
+        match decode(step) {
+            Op::Schedule { time, count } => {
+                for i in 0..count {
+                    let t = SimTime::from_nanos(time + i % 3);
+                    heap.schedule(t, payload);
+                    cal.schedule(t, payload);
+                    payload += 1;
+                }
+            }
+            Op::ScheduleFar { time, shift } => {
+                let t = SimTime::from_nanos(time.saturating_mul(1 << shift));
+                heap.schedule(t, payload);
+                cal.schedule(t, payload);
+                payload += 1;
+            }
+            Op::Pop { count } => {
+                for _ in 0..count {
+                    // Schedule-while-popping: peek first, then pop, then
+                    // sometimes schedule at exactly the popped time (the
+                    // soonest legal instant) — the hostile case for FIFO
+                    // tie-breaking and for the calendar hand.
+                    prop_assert_eq!(heap.peek_time(), cal.peek_time());
+                    let h = heap.pop_entry();
+                    let c = cal.pop_entry();
+                    prop_assert_eq!(h, c, "pop diverged: heap={h:?} calendar={c:?}");
+                    if let Some((t, seq, _)) = h {
+                        if seq % 3 == 0 {
+                            heap.schedule(t, payload);
+                            cal.schedule(t, payload);
+                            payload += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Op::Peek => {
+                prop_assert_eq!(heap.peek_time(), cal.peek_time());
+            }
+            Op::Clear => {
+                heap.clear();
+                cal.clear();
+            }
+        }
+        prop_assert_eq!(heap.len(), cal.len());
+        prop_assert_eq!(heap.is_empty(), cal.is_empty());
+        prop_assert_eq!(heap.next_seq(), cal.next_seq());
+    }
+    // Final full drain must agree entry-for-entry.
+    loop {
+        let h = heap.pop_entry();
+        let c = cal.pop_entry();
+        prop_assert_eq!(h, c, "drain diverged: heap={h:?} calendar={c:?}");
+        if h.is_none() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn calendar_matches_heap_under_random_interleavings() {
+    let ops = check::vec(
+        (check::u64s(0..), check::u64s(0..), check::u64s(0..)),
+        1..120,
+    );
+    check::check("calendar_matches_heap", ops, |ops| run_differential(ops));
+}
+
+/// Deterministic worst cases the random sweep might under-sample.
+#[test]
+fn calendar_matches_heap_on_targeted_workloads() {
+    // Large same-instant burst straddling pops.
+    let mut ops: Vec<(u64, u64, u64)> = vec![(6, 500, 190), (9, 0, 20), (6, 500, 190), (9, 0, 500)];
+    // Far-future outliers that force growth, then drain (forces shrink
+    // plus overflow migration).
+    for i in 0..40 {
+        ops.push((7, i + 1, 23));
+        ops.push((0, i * 13, 3));
+    }
+    ops.push((9, 0, 4000));
+    // Clear mid-run, then rebuild a population.
+    ops.push((15, 0, 0));
+    for i in 0..30 {
+        ops.push((0, i * 97, 3));
+    }
+    run_differential(&ops).unwrap();
+}
+
+/// The trait-object view: both implementations behind `&mut dyn
+/// FutureEventList` behave identically (guards against the trait's
+/// default methods diverging from the inherent ones).
+#[test]
+fn trait_dispatch_matches_inherent_behavior() {
+    let mut heap: EventQueue<u32> = EventQueue::new();
+    let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+    {
+        let queues: [&mut dyn FutureEventList<u32>; 2] = [&mut heap, &mut cal];
+        for q in queues {
+            for i in 0..50 {
+                q.schedule(SimTime::from_nanos((i * 31) % 97), i as u32);
+            }
+        }
+    }
+    let mut drained = Vec::new();
+    loop {
+        let h = FutureEventList::pop(&mut heap);
+        let c = FutureEventList::pop(&mut cal);
+        assert_eq!(h, c);
+        match h {
+            Some(entry) => drained.push(entry),
+            None => break,
+        }
+    }
+    assert_eq!(drained.len(), 50);
+}
+
+/// Satellite regression: neither implementation may reset its sequence
+/// counter on `clear()`. A reset would re-issue seq numbers after a
+/// mid-run clear and silently reorder same-time events relative to any
+/// `(time, seq)` identity established before the clear.
+#[test]
+fn clear_preserves_next_seq_on_both_implementations() {
+    fn exercise<Q: FutureEventList<u8>>(mut q: Q) {
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(10), 2);
+        q.schedule(SimTime::from_nanos(10), 3);
+        assert_eq!(q.next_seq(), 3);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_seq(), 3, "clear must not reset next_seq");
+        q.schedule(SimTime::from_nanos(10), 4);
+        q.schedule(SimTime::from_nanos(10), 5);
+        let (_, s4, e4) = q.pop_entry().unwrap();
+        let (_, s5, e5) = q.pop_entry().unwrap();
+        assert_eq!(
+            (s4, e4),
+            (3, 4),
+            "post-clear seq must continue, not restart"
+        );
+        assert_eq!((s5, e5), (4, 5));
+    }
+    exercise(EventQueue::new());
+    exercise(CalendarQueue::new());
+}
+
+/// Property flavor of the same regression: after any schedule/clear
+/// prefix, both queues agree on `next_seq` and it equals the total
+/// number of schedules ever issued.
+#[test]
+fn check_next_seq_counts_every_schedule_across_clears() {
+    let ops = check::vec((check::u64s(0..10), check::u64s(0..50)), 1..60);
+    check::check("next_seq_across_clears", ops, |ops| {
+        let mut heap: EventQueue<()> = EventQueue::new();
+        let mut cal: CalendarQueue<()> = CalendarQueue::new();
+        let mut scheduled = 0u64;
+        for &(sel, t) in ops {
+            if sel == 0 {
+                heap.clear();
+                cal.clear();
+            } else {
+                heap.schedule(SimTime::from_nanos(t), ());
+                cal.schedule(SimTime::from_nanos(t), ());
+                scheduled += 1;
+            }
+            prop_assert_eq!(heap.next_seq(), scheduled);
+            prop_assert_eq!(cal.next_seq(), scheduled);
+        }
+        Ok(())
+    });
+}

@@ -43,10 +43,15 @@ pub(crate) enum Owner {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct JobKey {
     pub owner: Owner,
-    /// Monotone per-owner instance counter.
+    /// Monotone per-owner instance counter. Identity, RNG streams, and
+    /// trace span args key off this — never off `token`.
     pub seq: u64,
     /// Index of the stage within the instance's stage sequence.
     pub stage: usize,
+    /// Raw arena handle of the instance's pooled state
+    /// ([`simcore::arena::Handle::to_raw`]); 0 for owners that pool
+    /// nothing (streams).
+    pub token: u64,
 }
 
 /// A job admitted to a FIFO slot; completion is firm (never preempted).
@@ -239,8 +244,17 @@ impl<K: Copy> PsServer<K> {
     /// within [`PS_EPSILON`], returning the finished jobs and the next
     /// check time. Bumps the generation iff membership changed.
     pub fn on_check(&mut self, now: SimTime) -> (Vec<K>, Option<SimTime>) {
-        self.advance(now);
         let mut finished = Vec::new();
+        let next = self.on_check_into(now, &mut finished);
+        (finished, next)
+    }
+
+    /// Allocation-free [`on_check`](PsServer::on_check): appends finished
+    /// jobs to a caller-owned scratch buffer (the hot simulation loop
+    /// reuses one across events).
+    pub fn on_check_into(&mut self, now: SimTime, finished: &mut Vec<K>) -> Option<SimTime> {
+        self.advance(now);
+        let before = finished.len();
         self.jobs.retain(|j| {
             if j.remaining <= PS_EPSILON {
                 finished.push(j.key);
@@ -249,15 +263,16 @@ impl<K: Copy> PsServer<K> {
                 true
             }
         });
-        if !finished.is_empty() {
-            self.completed += finished.len() as u64;
-            self.active.add(now, -(finished.len() as f64));
+        let done = finished.len() - before;
+        if done > 0 {
+            self.completed += done as u64;
+            self.active.add(now, -(done as f64));
             if self.jobs.is_empty() {
                 self.busy.set(now, 0.0);
             }
             self.generation += 1;
         }
-        (finished, self.next_check(now))
+        self.next_check(now)
     }
 }
 
@@ -270,6 +285,7 @@ mod tests {
             owner: Owner::Stream(StreamId(0)),
             seq,
             stage: 0,
+            token: 0,
         }
     }
 

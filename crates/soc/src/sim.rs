@@ -1,11 +1,10 @@
 //! The SoC simulator: wires streams, sources, and servers to the
 //! discrete-event engine.
 
-use std::collections::HashMap;
-
+use simcore::arena::{Arena, Handle};
 use simcore::stats::{LogHistogram, Running};
 use simcore::trace::{ArgValue, Tracer, TrackId};
-use simcore::{SimTime, Simulator};
+use simcore::{QueueKind, SimTime, Simulator};
 
 use crate::job::{SourceId, SourceSpec, Stage, StageSeq, StreamId, StreamSpec};
 use crate::server::{FifoServer, JobKey, Owner, PsServer, ServicePolicy};
@@ -185,21 +184,44 @@ enum ServerImpl {
     Ps(PsServer<JobKey>),
 }
 
-struct StreamState {
-    spec: StreamSpec,
+/// Stream hot state as a struct of arrays. The per-event path
+/// (`start_stream_instance` / `complete_instance`) touches only `seq`,
+/// `started_at`, and `in_flight`; splitting them out of the spec- and
+/// metrics-carrying struct keeps those accesses dense — three small
+/// parallel vectors instead of striding over `StreamSpec`s.
+#[derive(Default)]
+struct StreamTable {
+    specs: Vec<StreamSpec>,
     /// Replacement stage sequence to apply at the next restart.
-    pending: Option<StageSeq>,
-    seq: u64,
-    started_at: SimTime,
-    in_flight: bool,
-    metrics: StreamMetrics,
+    pending: Vec<Option<StageSeq>>,
+    seq: Vec<u64>,
+    started_at: Vec<SimTime>,
+    in_flight: Vec<bool>,
+    metrics: Vec<StreamMetrics>,
+}
+
+impl StreamTable {
+    fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    fn push(&mut self, spec: StreamSpec, now: SimTime, metrics: StreamMetrics) {
+        self.specs.push(spec);
+        self.pending.push(None);
+        self.seq.push(0);
+        self.started_at.push(now);
+        self.in_flight.push(false);
+        self.metrics.push(metrics);
+    }
 }
 
 struct SourceState {
     spec: SourceSpec,
     seq: u64,
-    /// Release time of each in-flight instance.
-    outstanding: HashMap<u64, SimTime>,
+    /// Release time of each in-flight instance, pooled: slots recycle
+    /// through the arena free list, so steady-state releases allocate
+    /// nothing. The raw handle rides in [`JobKey::token`].
+    outstanding: Arena<SimTime>,
     metrics: SourceMetrics,
 }
 
@@ -225,10 +247,13 @@ struct TraceIds {
 struct SocState {
     topo: Topology,
     servers: Vec<ServerImpl>,
-    streams: Vec<StreamState>,
+    streams: StreamTable,
     sources: Vec<SourceState>,
     /// Peak FIFO queue depth observed per server (0 for PS servers).
     peak_queue: Vec<usize>,
+    /// Reusable buffer for PS completion batches (taken/returned around
+    /// each `PsCheck`), so checks do not allocate per event.
+    finished_scratch: Vec<JobKey>,
     retention: SampleRetention,
     tracer: Tracer,
     trace: TraceIds,
@@ -254,8 +279,17 @@ impl std::fmt::Debug for SocSim {
 }
 
 impl SocSim {
-    /// Creates a simulator over `topology` at time zero.
+    /// Creates a simulator over `topology` at time zero, with the
+    /// future-event list chosen by [`QueueKind::from_env`] (the
+    /// `HBO_EVENT_QUEUE` variable; heap by default).
     pub fn new(topology: Topology) -> Self {
+        Self::with_queue(topology, QueueKind::from_env())
+    }
+
+    /// Creates a simulator over `topology` with an explicit future-event
+    /// list implementation. Both kinds produce bit-identical runs; this
+    /// is a performance knob.
+    pub fn with_queue(topology: Topology, queue: QueueKind) -> Self {
         let start = SimTime::ZERO;
         let servers = topology
             .iter()
@@ -266,18 +300,24 @@ impl SocSim {
             .collect();
         let server_count = topology.iter().count();
         SocSim {
-            sim: Simulator::new(),
+            sim: Simulator::with_queue_kind(queue),
             state: SocState {
                 topo: topology,
                 servers,
-                streams: Vec::new(),
+                streams: StreamTable::default(),
                 sources: Vec::new(),
                 peak_queue: vec![0; server_count],
+                finished_scratch: Vec::new(),
                 retention: SampleRetention::Full,
                 tracer: Tracer::disabled(),
                 trace: TraceIds::default(),
             },
         }
+    }
+
+    /// Which future-event-list implementation this simulator runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.sim.queue_kind()
     }
 
     /// Installs a tracer and registers one span track per FIFO slot and
@@ -290,7 +330,7 @@ impl SocSim {
     /// installed first.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         assert!(
-            self.state.streams.is_empty() && self.state.sources.is_empty(),
+            self.state.streams.len() == 0 && self.state.sources.is_empty(),
             "install the tracer before adding streams or sources"
         );
         self.state.tracer = tracer;
@@ -331,8 +371,8 @@ impl SocSim {
     /// sample.
     pub fn set_sample_retention(&mut self, retention: SampleRetention) {
         self.state.retention = retention;
-        for st in &mut self.state.streams {
-            st.metrics.retention = retention;
+        for m in &mut self.state.streams.metrics {
+            m.retention = retention;
         }
     }
 
@@ -370,17 +410,14 @@ impl SocSim {
             .trace
             .streams
             .push(self.state.tracer.register_track("soc", &track_name));
-        self.state.streams.push(StreamState {
+        self.state.streams.push(
             spec,
-            pending: None,
-            seq: 0,
-            started_at: self.sim.now(),
-            in_flight: false,
-            metrics: StreamMetrics {
+            self.sim.now(),
+            StreamMetrics {
                 retention: self.state.retention,
                 ..StreamMetrics::default()
             },
-        });
+        );
         self.sim
             .schedule(self.sim.now(), SocEvent::StreamStart { stream: id.0 });
         id
@@ -396,7 +433,7 @@ impl SocSim {
     pub fn update_stream(&mut self, id: StreamId, stages: impl Into<StageSeq>) {
         let stages = stages.into();
         self.state.validate_stages(&stages);
-        self.state.streams[id.0].pending = Some(stages);
+        self.state.streams.pending[id.0] = Some(stages);
     }
 
     /// Adds a periodic source; its first release is at the current time.
@@ -423,7 +460,7 @@ impl SocSim {
         self.state.sources.push(SourceState {
             spec,
             seq: 0,
-            outstanding: HashMap::new(),
+            outstanding: Arena::new(),
             metrics: SourceMetrics::default(),
         });
         self.sim
@@ -451,7 +488,7 @@ impl SocSim {
 
     /// Measurements of a stream.
     pub fn stream_metrics(&self, id: StreamId) -> &StreamMetrics {
-        &self.state.streams[id.0].metrics
+        &self.state.streams.metrics[id.0]
     }
 
     /// Measurements of a source.
@@ -552,7 +589,9 @@ impl SocState {
                 if generation != server.generation {
                     return; // stale check superseded by a membership change
                 }
-                let (finished, next) = server.on_check(now);
+                let mut finished = std::mem::take(&mut self.finished_scratch);
+                finished.clear();
+                let next = server.on_check_into(now, &mut finished);
                 let resident = server.resident();
                 if let Some(t) = next {
                     let generation = server.generation;
@@ -567,27 +606,29 @@ impl SocState {
                         resident as f64,
                     );
                 }
-                for key in finished {
+                for key in finished.drain(..) {
                     self.on_stage_done(sched, key);
                 }
+                self.finished_scratch = finished;
             }
         }
     }
 
     fn start_stream_instance(&mut self, sched: &mut Sched<'_>, stream: usize) {
         let now = sched.now();
-        let st = &mut self.streams[stream];
-        debug_assert!(!st.in_flight, "stream restarted while in flight");
-        if let Some(stages) = st.pending.take() {
-            st.spec.stages = stages;
+        let st = &mut self.streams;
+        debug_assert!(!st.in_flight[stream], "stream restarted while in flight");
+        if let Some(stages) = st.pending[stream].take() {
+            st.specs[stream].stages = stages;
         }
-        st.seq += 1;
-        st.started_at = now;
-        st.in_flight = true;
+        st.seq[stream] += 1;
+        st.started_at[stream] = now;
+        st.in_flight[stream] = true;
         let key = JobKey {
             owner: Owner::Stream(StreamId(stream)),
-            seq: st.seq,
+            seq: st.seq[stream],
             stage: 0,
+            token: 0,
         };
         self.submit_stage(sched, key);
     }
@@ -596,7 +637,7 @@ impl SocState {
         let now = sched.now();
         let st = &mut self.sources[source];
         sched.schedule_after(st.spec.period, SocEvent::SourceTick { source });
-        if st.outstanding.len() >= st.spec.max_outstanding {
+        if st.outstanding.live() >= st.spec.max_outstanding {
             st.metrics.skipped += 1;
             let skipped = st.metrics.skipped;
             if self.tracer.is_enabled() {
@@ -611,19 +652,20 @@ impl SocState {
             return;
         }
         st.seq += 1;
-        st.outstanding.insert(st.seq, now);
+        let token = st.outstanding.alloc(now).to_raw();
         st.metrics.released += 1;
         let key = JobKey {
             owner: Owner::Source(SourceId(source)),
             seq: st.seq,
             stage: 0,
+            token,
         };
         self.submit_stage(sched, key);
     }
 
     fn stage_of(&self, key: JobKey) -> Option<Stage> {
         let stages = match key.owner {
-            Owner::Stream(id) => self.streams[id.0].spec.stages.stages(),
+            Owner::Stream(id) => self.streams.specs[id.0].stages.stages(),
             Owner::Source(id) => self.sources[id.0].spec.stages.stages(),
         };
         stages.get(key.stage).copied()
@@ -725,7 +767,7 @@ impl SocState {
     fn owner_name(&self, owner: Owner) -> String {
         match owner {
             Owner::Stream(id) => {
-                let label = &self.streams[id.0].spec.label;
+                let label = &self.streams.specs[id.0].label;
                 if label.is_empty() {
                     format!("stream{}", id.0)
                 } else {
@@ -763,7 +805,7 @@ impl SocState {
             ..key
         };
         let has_next = match key.owner {
-            Owner::Stream(id) => next.stage < self.streams[id.0].spec.stages.len(),
+            Owner::Stream(id) => next.stage < self.streams.specs[id.0].stages.len(),
             Owner::Source(id) => next.stage < self.sources[id.0].spec.stages.len(),
         };
         if has_next {
@@ -777,24 +819,28 @@ impl SocState {
         let now = sched.now();
         match key.owner {
             Owner::Stream(id) => {
-                let st = &mut self.streams[id.0];
-                debug_assert_eq!(key.seq, st.seq, "completion of a stale stream instance");
-                let latency_ms = (now - st.started_at).as_millis_f64();
-                st.metrics.record(now, latency_ms);
-                st.in_flight = false;
+                let st = &mut self.streams;
+                debug_assert_eq!(
+                    key.seq, st.seq[id.0],
+                    "completion of a stale stream instance"
+                );
+                let started_at = st.started_at[id.0];
+                let latency_ms = (now - started_at).as_millis_f64();
+                st.metrics[id.0].record(now, latency_ms);
+                st.in_flight[id.0] = false;
                 // Rate-anchored streams aim for `start + period`; if the
                 // instance overran, the next starts right away (after the
                 // think-time gap), i.e. the loop skips ahead.
-                let mut next = now + st.spec.gap;
-                if let Some(period) = st.spec.period {
-                    next = next.max(st.started_at + period);
+                let spec = &st.specs[id.0];
+                let mut next = now + spec.gap;
+                if let Some(period) = spec.period {
+                    next = next.max(started_at + period);
                 }
-                if !st.spec.jitter.is_zero() {
-                    let j =
-                        simcore::rng::mix(id.0 as u64, st.seq) % st.spec.jitter.as_nanos().max(1);
+                if !spec.jitter.is_zero() {
+                    let j = simcore::rng::mix(id.0 as u64, st.seq[id.0])
+                        % spec.jitter.as_nanos().max(1);
                     next += simcore::SimDuration::from_nanos(j);
                 }
-                let started_at = st.started_at;
                 sched.schedule_at(next, SocEvent::StreamStart { stream: id.0 });
                 if self.tracer.is_enabled() {
                     // One complete span per inference on the stream's own
@@ -815,7 +861,10 @@ impl SocState {
             }
             Owner::Source(id) => {
                 let st = &mut self.sources[id.0];
-                if let Some(released) = st.outstanding.remove(&key.seq) {
+                // `try_free`: a shrunken stage sequence can complete the
+                // same instance through two paths; the second sees a
+                // stale handle and is a no-op.
+                if let Some(released) = st.outstanding.try_free(Handle::from_raw(key.token)) {
                     let latency_ms = (now - released).as_millis_f64();
                     st.metrics.latency.record(latency_ms);
                     st.metrics.completions.push(now);

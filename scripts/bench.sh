@@ -32,15 +32,34 @@ if [[ ! -s "$OUT" ]]; then
 fi
 
 # Validate every line parses as JSON with the fields the tooling reads.
+# An unfiltered run must also carry the sims-per-wall-second headline rows
+# for the DES simulators under both future-event-list implementations.
+FILTERED=0
+for a in "$@"; do [[ "$a" == --* ]] || FILTERED=1; done
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" <<'EOF'
+  python3 - "$OUT" "$FILTERED" <<'EOF'
 import json, sys
+rows = {}
 with open(sys.argv[1]) as f:
     for i, line in enumerate(f, 1):
         obj = json.loads(line)
         for key in ("group", "bench", "median_ns"):
             if key not in obj:
                 raise SystemExit(f"line {i}: missing key {key!r}")
+        rows[obj["bench"]] = obj
+if sys.argv[2] == "0":
+    required = (
+        "socsim_sc1cf1_1s",
+        "socsim_sc1cf1_1s_calendar",
+        "edgesim_8c_1s",
+        "edgesim_8c_1s_calendar",
+    )
+    for bench in required:
+        row = rows.get(bench)
+        if row is None:
+            raise SystemExit(f"missing DES throughput row {bench!r}")
+        if "sims_per_wall_sec" not in row:
+            raise SystemExit(f"row {bench!r} lacks sims_per_wall_sec")
 print(f"{sys.argv[1]}: {i} benches, all lines parse")
 EOF
 elif command -v jq >/dev/null 2>&1; then

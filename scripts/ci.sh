@@ -18,6 +18,14 @@ cargo build --release --offline
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+# Differential suite: CalendarQueue must stay observationally identical
+# to EventQueue — same (time, seq, event) pop sequence under randomized
+# schedule/pop/clear interleavings. Run explicitly (it is part of the
+# workspace run above too) so a queue regression fails with its own
+# banner instead of drowning in the full test log.
+echo "==> differential suite: simcore calendar vs heap"
+cargo test -q -p simcore --offline --test differential
+
 # Smoke-run one runner-backed experiment binary on the parallel path: a
 # tiny 4-replicate sweep on 2 worker threads exercises simcore::pool +
 # marsim::runner end-to-end (seed derivation, ordered collection, merged
@@ -33,6 +41,14 @@ cargo run --release --offline -q -p hbo-bench --bin explore -- \
 # serial path is pinned by tests/end_to_end.rs.
 echo "==> edge smoke: edge_offload --smoke --threads 2"
 cargo run --release --offline -q -p hbo-bench --bin edge_offload -- \
+  --smoke --threads 2 >/dev/null
+
+# Same smoke on the calendar-queue event core: HBO_EVENT_QUEUE flips every
+# simulator in the stack to simcore::CalendarQueue. Output equality with
+# the heap path is pinned byte-for-byte by tests/end_to_end.rs; this step
+# checks the calendar path also survives the real multi-threaded binary.
+echo "==> edge smoke (calendar queue): edge_offload --smoke --threads 2"
+HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin edge_offload -- \
   --smoke --threads 2 >/dev/null
 
 # Trace smoke: run a traced 2-replicate sweep on 2 worker threads and on

@@ -213,20 +213,93 @@ fn edge_offload_golden_cell_is_pinned() {
         iterations: 2,
         ..HboConfig::default()
     };
-    let rows = marsim::edge::sweep_cell(&ScenarioSpec::sc2_cf2(), 2, 50.0, &config, 42);
     let golden = [
         "{\"sweep\":\"edge_offload\",\"scenario\":\"SC2-CF2\",\"clients\":2,\"uplink_mbps\":50.000,\"system\":\"local-only\",\"alloc\":\"GNN\",\"x\":1.000000,\"quality\":1.000000,\"epsilon\":0.186885,\"reward\":0.532789,\"edge\":null}",
         "{\"sweep\":\"edge_offload\",\"scenario\":\"SC2-CF2\",\"clients\":2,\"uplink_mbps\":50.000,\"system\":\"edge-only\",\"alloc\":\"EEE\",\"x\":1.000000,\"quality\":1.000000,\"epsilon\":0.649189,\"reward\":-0.622972,\"edge\":{\"p95_ms\":18.942946,\"mean_ms\":15.818202,\"completed\":244,\"rejected\":0,\"avg_busy_lanes\":0.125282}}",
         "{\"sweep\":\"edge_offload\",\"scenario\":\"SC2-CF2\",\"clients\":2,\"uplink_mbps\":50.000,\"system\":\"hbo-joint\",\"alloc\":\"GEE\",\"x\":0.736836,\"quality\":0.907228,\"epsilon\":0.016605,\"reward\":0.865715,\"edge\":{\"p95_ms\":19.408982,\"mean_ms\":16.365485,\"completed\":158,\"rejected\":0,\"avg_busy_lanes\":0.108445}}",
     ];
-    assert_eq!(rows, golden, "edge_offload golden cell drifted");
-    // In this cell HBO-joint also dominates both fixed policies on the
-    // paper's QoE objective (acceptance criterion).
-    let reward = |i: usize| {
-        let tail = rows[i].split("\"reward\":").nth(1).unwrap();
-        tail.split(',').next().unwrap().parse::<f64>().unwrap()
+    // Both future-event-list implementations must hit the SAME golden
+    // bytes (ISSUE 6: the queue is a pure performance knob — flipping it
+    // may not move a single published digit).
+    for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+        let spec = ScenarioSpec::sc2_cf2().with_queue(queue);
+        let rows = marsim::edge::sweep_cell(&spec, 2, 50.0, &config, 42);
+        assert_eq!(
+            rows,
+            golden,
+            "edge_offload golden cell drifted on the {} queue",
+            queue.name()
+        );
+        // In this cell HBO-joint also dominates both fixed policies on the
+        // paper's QoE objective (acceptance criterion).
+        let reward = |i: usize| {
+            let tail = rows[i].split("\"reward\":").nth(1).unwrap();
+            tail.split(',').next().unwrap().parse::<f64>().unwrap()
+        };
+        assert!(reward(2) > reward(0) && reward(2) > reward(1));
+    }
+}
+
+/// ISSUE 6 acceptance: a full `run_hbo` session at a pinned seed is
+/// bit-identical under both queue implementations — every explored point,
+/// every cost, the whole best-cost trace, the telemetry summary, and the
+/// byte-exact Chrome trace export. This is the strongest cross-queue pin:
+/// any divergence in pop order or seq numbering anywhere in the SoC DES
+/// would cascade into different RNG draws and fail loudly here.
+#[test]
+fn calendar_queue_replays_an_hbo_session_bit_identically() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let session = |queue: simcore::QueueKind| {
+        let spec = ScenarioSpec::sc1_cf2().with_queue(queue);
+        let sink = Rc::new(RefCell::new(simcore::trace::ChromeTraceSink::new()));
+        let run = marsim::experiment::run_hbo_traced(
+            &spec,
+            &quick_config(),
+            2024,
+            simcore::trace::Tracer::with_sink(Rc::clone(&sink)),
+        );
+        let job = simcore::trace::TraceJob {
+            name: "session".to_owned(),
+            buffer: sink.borrow().snapshot(),
+        };
+        (run, simcore::trace::chrome_trace_json(&[job]))
     };
-    assert!(reward(2) > reward(0) && reward(2) > reward(1));
+    let (heap, heap_trace) = session(simcore::QueueKind::Heap);
+    let (cal, cal_trace) = session(simcore::QueueKind::Calendar);
+
+    assert_eq!(heap.best.point, cal.best.point);
+    assert_eq!(heap.best_cost_trace, cal.best_cost_trace);
+    assert_eq!(heap.records.len(), cal.records.len());
+    for (a, b) in heap.records.iter().zip(&cal.records) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.cost, b.cost);
+    }
+    assert_eq!(heap.telemetry, cal.telemetry);
+    assert_eq!(
+        heap_trace, cal_trace,
+        "Chrome trace export must be byte-identical across queue kinds"
+    );
+    assert!(!heap_trace.is_empty());
+}
+
+/// The measurement loop itself (no optimizer): a placed SC1-CF1 app runs
+/// the same frames, latencies, and quality figures on both queues.
+#[test]
+fn calendar_queue_matches_heap_on_raw_app_measurements() {
+    let measure = |queue: simcore::QueueKind| {
+        let mut app = MarApp::new(&ScenarioSpec::sc1_cf1().with_queue(queue));
+        app.place_all_objects();
+        app.run_for_secs(1.0);
+        app.measure_for_secs(2.0)
+    };
+    let heap = measure(simcore::QueueKind::Heap);
+    let cal = measure(simcore::QueueKind::Calendar);
+    assert_eq!(
+        heap, cal,
+        "measurement window must be bit-identical across queue kinds"
+    );
 }
 
 /// Tracing is an observer, not a participant (ISSUE 5): an activation run
