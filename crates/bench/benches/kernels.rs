@@ -272,6 +272,35 @@ fn bench_substrates(h: &mut Harness) {
             );
         }
     }
+
+    // Fleet-scale cluster DES: one simulated second of a 256-session
+    // heterogeneous churning population routed across the fixed
+    // four-server cluster by join-shortest-queue, per queue kind. Setup
+    // (population synthesis + sim construction) is untimed; the routine
+    // measures only the event loop.
+    for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+        let name = match queue {
+            simcore::QueueKind::Heap => "fleet_256c_1s".to_owned(),
+            _ => format!("fleet_256c_1s_{}", queue.name()),
+        };
+        h.bench_sim(
+            &name,
+            1.0,
+            || {
+                let spec = marsim::FleetSpec::mar_default(256).with_queue(queue);
+                let sessions = spec.sessions(17);
+                let params = marsim::fleet::mar_cluster(
+                    edgelink::LinkParams::wifi(),
+                    edgelink::RoutePolicy::ShortestQueue,
+                );
+                edgelink::ClusterSim::new(params, sessions, queue)
+            },
+            |mut sim| {
+                sim.run_for_secs(1.0);
+                black_box(sim.metrics().completed())
+            },
+        );
+    }
 }
 
 fn main() {

@@ -1,0 +1,84 @@
+//! Fleet-scale cluster sweep: fleet size × routing policy, one
+//! heterogeneous churning population per cell served by the fixed
+//! four-server cluster of `marsim::fleet::mar_cluster`.
+//!
+//! ```text
+//! fleet_sweep [--smoke] [--seed N] [--threads T]
+//! ```
+//!
+//! Emits one JSON line per `(fleet size, policy)` cell — cluster-level
+//! p50/p95/p99 latency, reject rate, per-server counters — plus the
+//! runner report with merged telemetry. Cells run on the deterministic
+//! parallel runner: each cell's seed derives from `(--seed, cell
+//! index)`, so the row set is bit-identical for any `--threads` setting
+//! (pinned, with a golden cell, by `tests/end_to_end.rs`).
+//!
+//! The full sweep covers hundreds of thousands of client-windows
+//! (session-seconds); `--smoke` shrinks it to seconds of wall time for
+//! CI.
+
+use edgelink::RoutePolicy;
+use hbo_bench::harness;
+use marsim::fleet::{run_fleet_cell, FleetSpec};
+use marsim::runner::{self, job_seed, MetricSummary};
+use marsim::TelemetrySummary;
+use simcore::stats::Running;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let seed: u64 = argv
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2024);
+    let threads = runner::threads_from_args();
+
+    // Fixed cluster, growing fleet: the sweep walks one deployment from
+    // comfortable (~0.3× capacity) to heavily saturated, where routing
+    // policy and load shedding dominate the tail.
+    let (fleets, horizon): (Vec<usize>, f64) = if smoke {
+        (vec![12], 4.0)
+    } else {
+        (vec![64, 256, 1024, 4096], 30.0)
+    };
+
+    let cells: Vec<(usize, RoutePolicy)> = fleets
+        .iter()
+        .flat_map(|&n| RoutePolicy::ALL.iter().map(move |&p| (n, p)))
+        .collect();
+    let (outcomes, mut report) =
+        runner::run_map("fleet_sweep", threads, &cells, |i, &(fleet, policy)| {
+            let spec = FleetSpec::mar_default(fleet).with_horizon(horizon);
+            run_fleet_cell(&spec, policy, job_seed(seed, i as u64))
+        });
+    for r in &outcomes {
+        println!("{}", r.row);
+    }
+    // Merge per-cell telemetry and metrics in cell order (deterministic
+    // for any thread count).
+    let mut telemetry = TelemetrySummary::default();
+    let mut completed = Running::new();
+    let mut mean_ms = Running::new();
+    for r in &outcomes {
+        telemetry.merge(&r.telemetry);
+        completed.record(r.completed as f64);
+        if let Some(m) = r.mean_ms {
+            mean_ms.record(m);
+        }
+    }
+    report.telemetry = Some(telemetry);
+    report.metrics = vec![
+        MetricSummary {
+            name: "cell_completed".to_owned(),
+            stats: completed,
+        },
+        // Empty (rendered null) if every cell rejected everything.
+        MetricSummary {
+            name: "cell_mean_ms".to_owned(),
+            stats: mean_ms,
+        },
+    ];
+    harness::emit_runner_report(&report);
+}

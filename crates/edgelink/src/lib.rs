@@ -20,6 +20,9 @@
 //!   overload instead of buffering it.
 //! - [`sim`] — [`sim::EdgeSim`], the discrete-event loop in which N
 //!   closed-loop clients contend for the same link profile and server.
+//! - [`cluster`] — [`cluster::ClusterSim`], the fleet-scale layer:
+//!   heterogeneous churning sessions routed across multiple servers by a
+//!   pluggable load-balancing policy ([`cluster::RoutePolicy`]).
 //!
 //! Everything is deterministic under [`simcore::rng`] streams: a fixed
 //! master seed produces bit-identical traces regardless of host or
@@ -29,10 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod link;
 pub mod server;
 pub mod sim;
 
+pub use cluster::{
+    ClusterMetrics, ClusterParams, ClusterSim, RoutePolicy, ServerSpec, SessionSpec,
+};
 pub use link::{plan_transfer, ByteCounters, Direction, LinkParams, TransferPlan};
 pub use server::{Admission, EdgeServer, ServerParams};
 pub use sim::{ClientSpec, EdgeSim, FlowMetrics};

@@ -107,9 +107,13 @@ impl EdgeSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EdgeStats {
     /// p95 round-trip latency over all flows' completions, in ms.
-    pub p95_ms: f64,
+    /// `None` when the window completed no round trip — a saturated or
+    /// fully-rejecting window has no latency distribution, and reporting
+    /// `0.0` would be indistinguishable from an impossibly fast one.
+    pub p95_ms: Option<f64>,
     /// Mean round-trip latency over all flows' completions, in ms.
-    pub mean_ms: f64,
+    /// `None` when `completed == 0` (same rationale as `p95_ms`).
+    pub mean_ms: Option<f64>,
     /// Round trips completed across the fleet.
     pub completed: u64,
     /// Admission rejections across the fleet.
@@ -354,7 +358,11 @@ impl EdgeWorld {
             self.edge_peak_queue = self.edge_peak_queue.max(esim.peak_queue());
             edge_stats = Some(EdgeStats {
                 p95_ms: percentile(&pooled, 0.95),
-                mean_ms: pooled.iter().sum::<f64>() / pooled.len().max(1) as f64,
+                mean_ms: if pooled.is_empty() {
+                    None
+                } else {
+                    Some(pooled.iter().sum::<f64>() / pooled.len() as f64)
+                },
                 completed: pooled.len() as u64,
                 rejected,
                 avg_busy_lanes: esim.avg_busy_lanes(),
@@ -392,13 +400,16 @@ fn best_local_ms(p: &TaskProfile) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted slice; `None` when the
+/// slice is empty (an empty sample set has no percentile — fabricating
+/// `0.0` here would make a fully-rejecting window look infinitely fast,
+/// and the `clamp(1, len)` below needs `len >= 1` to be well-formed).
+fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
+    Some(sorted[idx])
 }
 
 /// One full HBO activation on an [`EdgeWorld`]: identical to
@@ -570,6 +581,16 @@ pub fn compare_edge_systems_traced(
     (outcomes, hbo_run.telemetry)
 }
 
+/// Renders an optional millisecond statistic with the sweep's fixed
+/// 6-decimal format, or JSON `null` when the window had no completions —
+/// so rows distinguish "nothing finished" from a genuine 0 ms mean.
+pub(crate) fn fmt_opt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.6}"),
+        None => "null".to_owned(),
+    }
+}
+
 /// Renders one sweep row as a JSON line (hand-rolled; hermetic build).
 pub fn row_json(
     scenario: &str,
@@ -581,8 +602,12 @@ pub fn row_json(
     let alloc: String = outcome.allocation.iter().map(|d| d.letter()).collect();
     let edge = match &outcome.measurement.edge {
         Some(e) => format!(
-            "{{\"p95_ms\":{:.6},\"mean_ms\":{:.6},\"completed\":{},\"rejected\":{},\"avg_busy_lanes\":{:.6}}}",
-            e.p95_ms, e.mean_ms, e.completed, e.rejected, e.avg_busy_lanes
+            "{{\"p95_ms\":{},\"mean_ms\":{},\"completed\":{},\"rejected\":{},\"avg_busy_lanes\":{:.6}}}",
+            fmt_opt_ms(e.p95_ms),
+            fmt_opt_ms(e.mean_ms),
+            e.completed,
+            e.rejected,
+            e.avg_busy_lanes
         ),
         None => "null".to_owned(),
     };
@@ -680,7 +705,8 @@ mod tests {
         let m = world.measure_for_secs(2.0);
         let e = m.edge.expect("edge tasks ran");
         assert!(e.completed > 0);
-        assert!(e.p95_ms >= e.mean_ms * 0.5);
+        let (p95, mean) = (e.p95_ms.unwrap(), e.mean_ms.unwrap());
+        assert!(p95 >= mean * 0.5);
         // Offloaded latencies carry at least the RTT.
         for (i, &ms) in m.per_task_ms.iter().enumerate() {
             assert!(
@@ -704,12 +730,57 @@ mod tests {
             let spec = ScenarioSpec::sc2_cf2().with_edge(edge);
             let alloc = edge_only_allocation(&spec.profiles());
             let m = evaluate_fixed_edge(&spec, &alloc, 1.0, 23);
-            p95s.push(m.edge.expect("edge stats").p95_ms);
+            p95s.push(m.edge.expect("edge stats").p95_ms.expect("completions"));
         }
         assert!(
             p95s[0] < p95s[1] && p95s[1] < p95s[2],
             "fleet p95 not monotone: {p95s:?}"
         );
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        // Regression: this used to fabricate 0.0 for an empty sample set
+        // (and the nearest-rank clamp is only well-formed for len >= 1).
+        assert_eq!(percentile(&[], 0.95), None);
+        assert_eq!(percentile(&[3.0], 0.5), Some(3.0));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 0.95), Some(4.0));
+    }
+
+    #[test]
+    fn zero_completion_window_reports_null_stats_not_zero_ms() {
+        // Regression: a window where nothing completes (here: an uplink so
+        // slow one request outlives the window) used to report
+        // `mean_ms: 0.0` with `completed: 0`, indistinguishable from an
+        // impossibly fast fleet. It must surface "no completions".
+        let edge = edge_spec(1, 0.01); // 32 KiB request ≈ 26 s serialization
+        let spec = ScenarioSpec::sc2_cf2().with_edge(edge);
+        let alloc = edge_only_allocation(&spec.profiles());
+        let mut world = EdgeWorld::new(&spec, 7);
+        world.place_all_objects();
+        let point = HboPoint {
+            z: Vec::new(),
+            c: Vec::new(),
+            x: 1.0,
+            allocation: alloc.clone(),
+        };
+        world.apply(&point);
+        let m = world.measure_for_secs(1.0);
+        let e = m.edge.clone().expect("edge tasks were allocated");
+        assert_eq!(e.completed, 0);
+        assert_eq!(e.p95_ms, None);
+        assert_eq!(e.mean_ms, None);
+        // The JSON row must say null, not 0.000000.
+        let outcome = EdgeSystemOutcome {
+            system: "edge-only",
+            allocation: alloc,
+            x: 1.0,
+            measurement: m,
+        };
+        let row = row_json(&spec.name, 1, 0.01, &outcome, 0.5);
+        assert!(row.contains("\"p95_ms\":null"), "row: {row}");
+        assert!(row.contains("\"mean_ms\":null"), "row: {row}");
+        assert!(row.contains("\"completed\":0"), "row: {row}");
     }
 
     #[test]

@@ -1,0 +1,494 @@
+//! Fleet-scale edge serving: heterogeneous client populations with
+//! session churn, routed across a multi-server cluster (ROADMAP item 1,
+//! DESIGN.md §10).
+//!
+//! Where [`crate::edge`] mirrors one `MarApp` N ways against a single
+//! server, this module generates a *population*: sessions drawn
+//! deterministically from a [`FleetSpec`] — mixed device profiles,
+//! models, frame rates, zones — arriving and departing by a Poisson
+//! process on the existing seeded RNG streams, and served by an
+//! [`edgelink::ClusterSim`] behind a pluggable [`RoutePolicy`].
+//!
+//! # Seed derivation
+//!
+//! One cell seed fans out as:
+//!
+//! ```text
+//! cell seed ──mix(·, 0xF1EE_0001)──▶ churn stream (class / zone /
+//!                                    arrival / duration draws)
+//!          └─mix(mix(·, 0xF1EE_0002), i)──▶ session i's private seed
+//!                                    (submit jitter, link randomness,
+//!                                    power-of-two picks)
+//! ```
+//!
+//! Session behavior is keyed solely off the session's private seed, so
+//! permuting the generated vector relabels sessions without changing
+//! any of them (pinned by the cluster relabeling tests).
+
+use edgelink::cluster::{ClusterParams, ClusterSim, ServerSpec, SessionSpec};
+use edgelink::{ClientSpec, LinkParams, RoutePolicy, ServerParams};
+use hbo_core::TaskProfile;
+use nnmodel::ModelZoo;
+use simcore::rand::{Rng, SeedableRng, StdRng};
+use simcore::rng::mix;
+use simcore::QueueKind;
+use soc::DeviceProfile;
+
+use crate::app::{TASK_GAP_MS, TASK_JITTER_MS};
+use crate::edge::fmt_opt_ms;
+use crate::telemetry::TelemetrySummary;
+
+/// One kind of client in the fleet: a device running one offloaded model
+/// at one frame rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceClass {
+    /// Class label (rendered into session labels).
+    pub name: &'static str,
+    /// Relative population share (normalized across classes).
+    pub weight: f64,
+    /// The phone (selects the calibrated model zoo).
+    pub device: DeviceProfile,
+    /// The offloaded model, by zoo name.
+    pub model: String,
+    /// Offload request rate, in frames per second.
+    pub fps: f64,
+    /// Request payload per inference, in bytes.
+    pub request_bytes: u64,
+    /// Response payload per inference, in bytes.
+    pub response_bytes: u64,
+    /// Mean session length for this class, in seconds (exponential).
+    pub mean_session_secs: f64,
+}
+
+/// The fleet recipe: who the clients are, how many are live at once, and
+/// how long the experiment runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Per-session wireless link profile.
+    pub link: LinkParams,
+    /// The population mix.
+    pub classes: Vec<DeviceClass>,
+    /// Number of zones sessions are spread over (uniformly).
+    pub zones: usize,
+    /// Target concurrent sessions. Little's law sets the Poisson arrival
+    /// rate: `λ = target_sessions / mean session length`.
+    pub target_sessions: usize,
+    /// Simulated horizon per cell, in seconds.
+    pub horizon_secs: f64,
+    /// Edge inference time as a fraction of a model's best on-device
+    /// latency, on a `speed == 1.0` server (mirrors
+    /// [`crate::edge::EdgeSpec::server_speedup`]).
+    pub server_speedup: f64,
+    /// Floor on drawn session lengths, in seconds.
+    pub min_session_secs: f64,
+    /// Future-event-list implementation for the cluster simulator.
+    pub queue: QueueKind,
+}
+
+impl FleetSpec {
+    /// The default MAR fleet mix: flagship / midrange / budget classes
+    /// across two zones, targeting `target_sessions` concurrent clients.
+    pub fn mar_default(target_sessions: usize) -> Self {
+        FleetSpec {
+            link: LinkParams::wifi(),
+            classes: vec![
+                DeviceClass {
+                    name: "flagship",
+                    weight: 0.3,
+                    device: DeviceProfile::pixel7(),
+                    model: "efficientclass-lite0".to_owned(),
+                    fps: 15.0,
+                    request_bytes: 32 * 1024,
+                    response_bytes: 4 * 1024,
+                    mean_session_secs: 25.0,
+                },
+                DeviceClass {
+                    name: "midrange",
+                    weight: 0.5,
+                    device: DeviceProfile::galaxy_s22(),
+                    model: "mobilenet-v1".to_owned(),
+                    fps: 10.0,
+                    request_bytes: 24 * 1024,
+                    response_bytes: 4 * 1024,
+                    mean_session_secs: 20.0,
+                },
+                DeviceClass {
+                    name: "budget",
+                    weight: 0.2,
+                    device: DeviceProfile::pixel7(),
+                    model: "mobilenetDetv1".to_owned(),
+                    fps: 5.0,
+                    request_bytes: 16 * 1024,
+                    response_bytes: 2 * 1024,
+                    mean_session_secs: 15.0,
+                },
+            ],
+            zones: 2,
+            target_sessions,
+            horizon_secs: 30.0,
+            server_speedup: 0.15,
+            min_session_secs: 2.0,
+            queue: QueueKind::from_env(),
+        }
+    }
+
+    /// Pins the future-event-list implementation, overriding the
+    /// `HBO_EVENT_QUEUE` default.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn with_horizon(mut self, secs: f64) -> Self {
+        self.horizon_secs = secs;
+        self
+    }
+
+    /// Edge inference time for one class on a `speed == 1.0` server,
+    /// derived from the class device's calibrated zoo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class model is missing from the device's zoo.
+    pub fn infer_ms(&self, class: &DeviceClass) -> f64 {
+        let zoo = ModelZoo::for_device(&class.device.name);
+        let model = zoo
+            .get(&class.model)
+            .unwrap_or_else(|| panic!("model {:?} not in zoo", class.model));
+        let (_, best_local_ms) = TaskProfile::from_model(model).best();
+        (best_local_ms * self.server_speedup).max(0.5)
+    }
+
+    /// The [`ClientSpec`] a class's sessions run.
+    fn client_spec(&self, class: &DeviceClass, session: u64) -> ClientSpec {
+        ClientSpec {
+            label: format!("{}{}", class.name, session),
+            request_bytes: class.request_bytes,
+            response_bytes: class.response_bytes,
+            infer_ms: self.infer_ms(class),
+            gap_ms: TASK_GAP_MS,
+            period_ms: 1000.0 / class.fps,
+            jitter_ms: TASK_JITTER_MS,
+        }
+    }
+
+    /// Generates the churning session population for one cell,
+    /// deterministically from `seed`.
+    ///
+    /// The population starts warm — `target_sessions` sessions are live
+    /// near `t = 0` (staggered arrivals inside the first half second,
+    /// exponential residual lifetimes, valid by memorylessness) — and
+    /// churns with Poisson arrivals at the Little's-law rate
+    /// `λ = target_sessions / E[session length]`, so concurrency hovers
+    /// around the target instead of ramping from empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no classes, non-positive weights, or no
+    /// zones.
+    pub fn sessions(&self, seed: u64) -> Vec<SessionSpec> {
+        assert!(!self.classes.is_empty(), "need at least one device class");
+        assert!(self.zones >= 1, "need at least one zone");
+        let total_weight: f64 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(
+            total_weight > 0.0 && self.classes.iter().all(|c| c.weight > 0.0),
+            "class weights must be positive"
+        );
+        // Per-class client templates (zoo lookups once, not per session).
+        let templates: Vec<ClientSpec> = self
+            .classes
+            .iter()
+            .map(|c| self.client_spec(c, 0))
+            .collect();
+        let mean_session: f64 = self
+            .classes
+            .iter()
+            .map(|c| c.weight / total_weight * c.mean_session_secs)
+            .sum();
+        let lambda = self.target_sessions as f64 / mean_session;
+        let mut rng = StdRng::seed_from_u64(mix(seed, 0xF1EE_0001));
+        let mut out = Vec::new();
+        let push = |rng: &mut StdRng, out: &mut Vec<SessionSpec>, arrive: f64| {
+            let class = draw_class(rng, &self.classes, total_weight);
+            let i = out.len() as u64;
+            let mut client = templates[class].clone();
+            client.label = format!("{}{}", self.classes[class].name, i);
+            let dur =
+                exp_draw(rng, self.classes[class].mean_session_secs).max(self.min_session_secs);
+            out.push(SessionSpec {
+                client,
+                zone: rng.gen_range(0..self.zones),
+                arrive_secs: arrive,
+                depart_secs: arrive + dur,
+                seed: mix(mix(seed, 0xF1EE_0002), i),
+            });
+        };
+        // Warm start: the steady-state population is already there.
+        for _ in 0..self.target_sessions {
+            let arrive = rng.gen::<f64>() * 0.5;
+            push(&mut rng, &mut out, arrive);
+        }
+        // Poisson churn over the horizon.
+        let mut t = 0.0;
+        loop {
+            t += exp_draw(&mut rng, 1.0 / lambda);
+            if t >= self.horizon_secs {
+                break;
+            }
+            push(&mut rng, &mut out, t);
+        }
+        out
+    }
+
+    /// Total client-windows of a generated population: summed active
+    /// session-seconds inside the horizon.
+    pub fn client_windows(&self, sessions: &[SessionSpec]) -> f64 {
+        sessions
+            .iter()
+            .map(|s| (s.depart_secs.min(self.horizon_secs) - s.arrive_secs).max(0.0))
+            .sum()
+    }
+}
+
+/// Exponential draw with the given mean (inverse-CDF on one uniform).
+fn exp_draw(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Weighted class index draw.
+fn draw_class(rng: &mut StdRng, classes: &[DeviceClass], total_weight: f64) -> usize {
+    let mut u: f64 = rng.gen::<f64>() * total_weight;
+    for (i, c) in classes.iter().enumerate() {
+        u -= c.weight;
+        if u < 0.0 {
+            return i;
+        }
+    }
+    classes.len() - 1
+}
+
+/// The fixed heterogeneous cluster the `fleet_sweep` cells run against:
+/// four servers of mixed lane counts and speeds across two zones. Kept
+/// constant across fleet sizes so the sweep shows the load curve of one
+/// deployment, not a re-provisioned one.
+pub fn mar_cluster(link: LinkParams, policy: RoutePolicy) -> ClusterParams {
+    ClusterParams {
+        link,
+        servers: vec![
+            // Zone 0: one big fast box plus a small one.
+            ServerSpec {
+                params: ServerParams {
+                    worker_lanes: 4,
+                    queue_capacity: 32,
+                },
+                zone: 0,
+                speed: 1.25,
+            },
+            ServerSpec {
+                params: ServerParams {
+                    worker_lanes: 2,
+                    queue_capacity: 16,
+                },
+                zone: 0,
+                speed: 1.0,
+            },
+            // Zone 1: a mid box plus an older slow one.
+            ServerSpec {
+                params: ServerParams {
+                    worker_lanes: 2,
+                    queue_capacity: 16,
+                },
+                zone: 1,
+                speed: 1.0,
+            },
+            ServerSpec {
+                params: ServerParams {
+                    worker_lanes: 1,
+                    queue_capacity: 8,
+                },
+                zone: 1,
+                speed: 0.75,
+            },
+        ],
+        policy,
+        cross_zone_ms: 8.0,
+        max_admission_retries: 2,
+    }
+}
+
+/// The outcome of one `(fleet size × policy)` cell.
+#[derive(Debug, Clone)]
+pub struct FleetCellResult {
+    /// The rendered JSON row.
+    pub row: String,
+    /// Cluster totals folded into the shared telemetry shape
+    /// (`edge_*` counters; no on-device processors at fleet scale).
+    pub telemetry: TelemetrySummary,
+    /// Completed round trips (the runner's per-cell metric).
+    pub completed: u64,
+    /// Pooled mean latency in ms, when anything completed.
+    pub mean_ms: Option<f64>,
+}
+
+/// Runs one fleet cell: generate the population from `seed`, serve it
+/// with `policy` for the spec's horizon, and pool cluster-level stats.
+pub fn run_fleet_cell(spec: &FleetSpec, policy: RoutePolicy, seed: u64) -> FleetCellResult {
+    let sessions = spec.sessions(seed);
+    let session_count = sessions.len();
+    let client_windows = spec.client_windows(&sessions);
+    let params = mar_cluster(spec.link, policy);
+    let server_count = params.servers.len();
+    let mut sim = ClusterSim::new(params, sessions, spec.queue);
+    sim.run_for_secs(spec.horizon_secs);
+    let m = sim.metrics();
+    let mut servers = String::from("[");
+    for s in 0..server_count {
+        if s > 0 {
+            servers.push(',');
+        }
+        let (admitted, rejected, completed) = sim.server_counters(s);
+        servers.push_str(&format!(
+            "{{\"admitted\":{},\"rejected\":{},\"completed\":{},\"avg_busy_lanes\":{:.6}}}",
+            admitted,
+            rejected,
+            completed,
+            sim.server_avg_busy_lanes(s)
+        ));
+    }
+    servers.push(']');
+    let row = format!(
+        "{{\"sweep\":\"fleet_sweep\",\"policy\":\"{}\",\"fleet\":{},\"sessions\":{},\
+         \"client_windows\":{:.3},\"submitted\":{},\"completed\":{},\"dropped\":{},\
+         \"rejects\":{},\"reject_rate\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
+         \"mean_ms\":{},\"retransmits\":{},\"peak_queue\":{},\"busy_lanes\":{:.6},\
+         \"servers\":{}}}",
+        policy.name(),
+        spec.target_sessions,
+        session_count,
+        client_windows,
+        m.submitted,
+        m.completed(),
+        m.dropped,
+        m.reject_events,
+        fmt_opt_ms(m.reject_rate()),
+        fmt_opt_ms(m.quantile_ms(0.50)),
+        fmt_opt_ms(m.quantile_ms(0.95)),
+        fmt_opt_ms(m.quantile_ms(0.99)),
+        fmt_opt_ms(m.mean_ms()),
+        m.retransmits,
+        sim.peak_queue(),
+        sim.total_avg_busy_lanes(),
+        servers
+    );
+    let telemetry = TelemetrySummary {
+        edge_rejected: m.reject_events,
+        edge_retransmits: m.retransmits,
+        edge_peak_queue: sim.peak_queue(),
+        ..TelemetrySummary::default()
+    };
+    FleetCellResult {
+        row,
+        completed: m.completed(),
+        mean_ms: m.mean_ms(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> FleetSpec {
+        FleetSpec::mar_default(12)
+            .with_horizon(5.0)
+            .with_queue(QueueKind::Heap)
+    }
+
+    #[test]
+    fn population_is_deterministic_and_heterogeneous() {
+        let spec = small_spec();
+        let a = spec.sessions(42);
+        let b = spec.sessions(42);
+        assert_eq!(a, b);
+        assert!(a.len() >= spec.target_sessions);
+        // Churn happened: someone arrives after t=0.5.
+        assert!(a.iter().any(|s| s.arrive_secs > 0.5));
+        // Heterogeneity: more than one period and more than one payload.
+        let periods: std::collections::BTreeSet<u64> =
+            a.iter().map(|s| s.client.period_ms.to_bits()).collect();
+        assert!(periods.len() > 1, "all sessions share one frame rate");
+        let payloads: std::collections::BTreeSet<u64> =
+            a.iter().map(|s| s.client.request_bytes).collect();
+        assert!(payloads.len() > 1, "all sessions share one payload");
+        // Zones are actually used.
+        assert!(a.iter().any(|s| s.zone == 0) && a.iter().any(|s| s.zone == 1));
+        // Sessions are well-formed.
+        for s in &a {
+            assert!(s.depart_secs > s.arrive_secs);
+            assert!(s.client.infer_ms >= 0.5);
+        }
+        // Distinct seeds per session.
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), a.len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_populations() {
+        let spec = small_spec();
+        assert_ne!(spec.sessions(1), spec.sessions(2));
+    }
+
+    #[test]
+    fn client_windows_counts_active_seconds() {
+        let spec = small_spec();
+        let sessions = spec.sessions(7);
+        let cw = spec.client_windows(&sessions);
+        // At least the warm-start population × most of the horizon.
+        assert!(
+            cw > spec.target_sessions as f64 * 1.0,
+            "client-windows {cw}"
+        );
+        // Bounded by every session spanning the whole horizon.
+        assert!(cw <= sessions.len() as f64 * spec.horizon_secs);
+    }
+
+    #[test]
+    fn fleet_cell_serves_and_reports() {
+        let r = run_fleet_cell(&small_spec(), RoutePolicy::PowerOfTwo, 42);
+        assert!(r.completed > 100, "only {} completions", r.completed);
+        assert!(r
+            .row
+            .starts_with("{\"sweep\":\"fleet_sweep\",\"policy\":\"p2c\""));
+        assert!(r.row.contains("\"p95_ms\":"));
+        assert!(!r.row.contains("\"p50_ms\":null"));
+        assert!(r.row.ends_with("}]}"));
+        assert!(r.mean_ms.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fleet_cell_is_deterministic_per_policy() {
+        for policy in RoutePolicy::ALL {
+            let a = run_fleet_cell(&small_spec(), policy, 9);
+            let b = run_fleet_cell(&small_spec(), policy, 9);
+            assert_eq!(a.row, b.row, "{} diverged", policy.name());
+            assert_eq!(a.telemetry, b.telemetry);
+        }
+    }
+
+    #[test]
+    fn policies_actually_differ() {
+        // Same population, different routing: the rows must not all be
+        // identical (otherwise the policy knob is dead).
+        let rows: std::collections::BTreeSet<String> = RoutePolicy::ALL
+            .iter()
+            .map(|&p| {
+                let r = run_fleet_cell(&small_spec(), p, 11);
+                // Strip the policy name so only measured behavior counts.
+                r.row.replace(p.name(), "")
+            })
+            .collect();
+        assert!(rows.len() > 1, "all policies produced identical behavior");
+    }
+}

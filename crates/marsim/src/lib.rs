@@ -22,6 +22,9 @@
 //! * [`edge`] — multi-client edge offloading: [`EdgeWorld`] couples the
 //!   app to a shared wireless link + edge server ([`edgelink`]) and makes
 //!   Edge a fourth HBO allocation target.
+//! * [`fleet`] — fleet-scale serving: heterogeneous churning session
+//!   populations ([`fleet::FleetSpec`]) served by a multi-server cluster
+//!   ([`edgelink::ClusterSim`]) under pluggable routing policies.
 //! * [`userstudy`] — the simulated 7-participant panel of Fig. 9.
 //!
 //! # Example
@@ -42,6 +45,7 @@
 mod app;
 pub mod edge;
 pub mod experiment;
+pub mod fleet;
 pub mod isolated;
 pub mod load;
 pub mod runner;
@@ -54,6 +58,7 @@ pub mod userstudy;
 pub use app::{task_period_ms, MarApp, Measurement, TASK_GAP_MS, TASK_JITTER_MS, TASK_PERIOD_MS};
 pub use edge::{EdgeMeasurement, EdgeSpec, EdgeSystemOutcome, EdgeWorld};
 pub use experiment::{BaselineOutcome, ExperimentResult, HboRunResult};
+pub use fleet::{run_fleet_cell, DeviceClass, FleetCellResult, FleetSpec};
 pub use runner::{RunnerReport, SweepJob, SweepOutcome, SweepResult};
 pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};
 pub use telemetry::{ProcessorTelemetry, TelemetrySummary};

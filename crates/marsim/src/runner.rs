@@ -164,14 +164,24 @@ impl RunnerReport {
             if i > 0 {
                 out.push(',');
             }
+            if m.stats.count() == 0 {
+                // An empty accumulator has no mean/spread/extrema;
+                // fabricating 0.000000 here made a metric that never
+                // recorded look like one that measured exactly zero.
+                out.push_str(&format!(
+                    "\"{}\":{{\"count\":0,\"mean\":null,\"std_dev\":null,\"min\":null,\"max\":null}}",
+                    m.name,
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "\"{}\":{{\"count\":{},\"mean\":{:.6},\"std_dev\":{:.6},\"min\":{:.6},\"max\":{:.6}}}",
                 m.name,
                 m.stats.count(),
                 m.stats.mean(),
                 m.stats.std_dev(),
-                m.stats.min().unwrap_or(0.0),
-                m.stats.max().unwrap_or(0.0),
+                m.stats.min().expect("count > 0"),
+                m.stats.max().expect("count > 0"),
             ));
         }
         out.push_str("}");
@@ -405,6 +415,44 @@ mod tests {
         let result = run_sweep("seeded", jobs, 9, 2);
         assert_eq!(result.outcomes[0].seed, job_seed(9, 0));
         assert_eq!(result.outcomes[1].seed, 777);
+    }
+
+    #[test]
+    fn report_json_says_null_for_metrics_that_never_recorded() {
+        // Regression: an empty metric used to render as
+        // `"mean":0.000000,...` — indistinguishable from a metric that
+        // measured exactly zero. It must render null for mean/spread/extrema.
+        let mut recorded = Running::new();
+        recorded.record(2.0);
+        recorded.record(4.0);
+        let report = RunnerReport {
+            label: "nulls".to_owned(),
+            jobs: 0,
+            threads: 1,
+            wall_secs: 0.0,
+            metrics: vec![
+                MetricSummary {
+                    name: "empty".to_owned(),
+                    stats: Running::new(),
+                },
+                MetricSummary {
+                    name: "seen".to_owned(),
+                    stats: recorded,
+                },
+            ],
+            telemetry: None,
+        };
+        let json = report.to_json();
+        assert!(
+            json.contains(
+                "\"empty\":{\"count\":0,\"mean\":null,\"std_dev\":null,\"min\":null,\"max\":null}"
+            ),
+            "empty metric not rendered as null: {json}"
+        );
+        assert!(
+            json.contains("\"seen\":{\"count\":2,\"mean\":3.000000"),
+            "non-empty metric changed shape: {json}"
+        );
     }
 
     #[test]

@@ -472,6 +472,115 @@ mod tests {
         assert_eq!(a.count(), all.count());
     }
 
+    /// Full bit pattern of a [`Running`], for bit-exact identity checks.
+    fn running_bits(r: &Running) -> (u64, u64, u64, u64, u64) {
+        (
+            r.count,
+            r.mean.to_bits(),
+            r.m2.to_bits(),
+            r.min.to_bits(),
+            r.max.to_bits(),
+        )
+    }
+
+    #[test]
+    fn running_merge_of_two_empties_stays_usable() {
+        // Regression guard for the empty-merge path (load-bearing for the
+        // runner's job-index merge order): merging two empty accumulators
+        // must leave an empty accumulator — no NaN mean from a 0/0 — and
+        // the result must keep accepting merges and samples afterwards.
+        let mut a = Running::new();
+        a.merge(&Running::new());
+        assert_eq!(a.count(), 0);
+        assert!(!a.mean().is_nan() && a.mean() == 0.0);
+        assert!(!a.variance().is_nan());
+        let mut b = Running::new();
+        b.record(2.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 2.5);
+        a.record(7.5);
+        assert_eq!(a.mean(), 5.0);
+    }
+
+    #[test]
+    fn running_merge_empty_is_identity_property() {
+        use crate::check::{self};
+        use crate::prop_assert_eq;
+        // ∅ is the two-sided identity of merge, bit-exactly: r ∪ ∅ and
+        // ∅ ∪ r both reproduce r's full bit pattern for any sample set.
+        check::check(
+            "running_merge_empty_identity",
+            check::vec(check::f64s(-1.0e6..1.0e6), 0..30),
+            |xs| {
+                let mut r = Running::new();
+                for &x in xs {
+                    r.record(x);
+                }
+                let mut right = r;
+                right.merge(&Running::new());
+                prop_assert_eq!(running_bits(&right), running_bits(&r));
+                let mut left = Running::new();
+                left.merge(&r);
+                prop_assert_eq!(running_bits(&left), running_bits(&r));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn running_merge_is_associative() {
+        use crate::check::{self};
+        use crate::{prop_assert, prop_assert_eq};
+        // (a ∪ b) ∪ c ≡ a ∪ (b ∪ c): count/min/max exactly, mean and
+        // variance within floating-point tolerance — including when any
+        // of the three parts is empty.
+        fn close(x: f64, y: f64) -> bool {
+            (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+        }
+        check::check(
+            "running_merge_associative",
+            (
+                check::vec(check::f64s(-1.0e3..1.0e3), 0..20),
+                check::vec(check::f64s(-1.0e3..1.0e3), 0..20),
+                check::vec(check::f64s(-1.0e3..1.0e3), 0..20),
+            ),
+            |(xs, ys, zs)| {
+                let fill = |v: &[f64]| {
+                    let mut r = Running::new();
+                    for &x in v {
+                        r.record(x);
+                    }
+                    r
+                };
+                let (a, b, c) = (fill(xs), fill(ys), fill(zs));
+                let mut ab_c = a;
+                ab_c.merge(&b);
+                ab_c.merge(&c);
+                let mut bc = b;
+                bc.merge(&c);
+                let mut a_bc = a;
+                a_bc.merge(&bc);
+                prop_assert_eq!(ab_c.count(), a_bc.count());
+                prop_assert_eq!(ab_c.min().map(f64::to_bits), a_bc.min().map(f64::to_bits));
+                prop_assert_eq!(ab_c.max().map(f64::to_bits), a_bc.max().map(f64::to_bits));
+                prop_assert!(
+                    close(ab_c.mean(), a_bc.mean()),
+                    "means diverged: {} vs {}",
+                    ab_c.mean(),
+                    a_bc.mean()
+                );
+                prop_assert!(
+                    close(ab_c.variance(), a_bc.variance()),
+                    "variances diverged: {} vs {}",
+                    ab_c.variance(),
+                    a_bc.variance()
+                );
+                Ok(())
+            },
+        );
+    }
+
     #[test]
     fn running_empty_defaults() {
         let r = Running::new();

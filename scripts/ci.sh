@@ -51,6 +51,19 @@ echo "==> edge smoke (calendar queue): edge_offload --smoke --threads 2"
 HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin edge_offload -- \
   --smoke --threads 2 >/dev/null
 
+# Fleet smoke: the cluster sweep on 2 worker threads — exercises the
+# heterogeneous fleet synthesis (churn, mixed device classes), the
+# multi-server cluster DES, and all four routing policies end-to-end.
+# The emitted rows are pinned (golden cell + thread-count identity) by
+# tests/end_to_end.rs; this step checks the real binary under both
+# future-event-list implementations.
+echo "==> fleet smoke: fleet_sweep --smoke --threads 2"
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 2 >/dev/null
+echo "==> fleet smoke (calendar queue): fleet_sweep --smoke --threads 2"
+HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 2 >/dev/null
+
 # Trace smoke: run a traced 2-replicate sweep on 2 worker threads and on
 # the serial path, validate the export with the in-tree Chrome trace-JSON
 # checker (spans from the SoC, HBO-control, and BO layers must be

@@ -422,3 +422,52 @@ fn edge_offload_sweep_identical_across_thread_counts() {
     assert_eq!(serial, sweep(2));
     assert_eq!(serial, sweep(4));
 }
+
+/// Golden regression pin (ISSUE 7, satellite d): one `fleet_sweep` cell's
+/// JSON row, bit-for-bit, under BOTH future-event-list implementations.
+/// The whole fleet pipeline behind this line — population synthesis
+/// (churn, mixed device classes), the multi-server cluster DES, the
+/// join-shortest-queue router, and the hand-rolled JSON — must stay
+/// deterministic for the pin to hold.
+#[test]
+fn fleet_sweep_golden_cell_is_pinned() {
+    let golden = "{\"sweep\":\"fleet_sweep\",\"policy\":\"jsq\",\"fleet\":12,\"sessions\":15,\"client_windows\":47.021,\"submitted\":568,\"completed\":563,\"dropped\":0,\"rejects\":0,\"reject_rate\":0.000000,\"p50_ms\":30.448164,\"p95_ms\":36.842278,\"p99_ms\":36.842278,\"mean_ms\":24.875300,\"retransmits\":28,\"peak_queue\":1,\"busy_lanes\":0.255252,\"servers\":[{\"admitted\":453,\"rejected\":0,\"completed\":453,\"avg_busy_lanes\":0.197481},{\"admitted\":101,\"rejected\":0,\"completed\":101,\"avg_busy_lanes\":0.053786},{\"admitted\":8,\"rejected\":0,\"completed\":8,\"avg_busy_lanes\":0.003510},{\"admitted\":1,\"rejected\":0,\"completed\":1,\"avg_busy_lanes\":0.000475}]}";
+    for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+        let spec = marsim::FleetSpec::mar_default(12)
+            .with_horizon(4.0)
+            .with_queue(queue);
+        let r = marsim::run_fleet_cell(
+            &spec,
+            edgelink::RoutePolicy::ShortestQueue,
+            marsim::runner::job_seed(2024, 1),
+        );
+        assert_eq!(
+            r.row,
+            golden,
+            "fleet_sweep golden cell drifted on the {} queue",
+            queue.name()
+        );
+    }
+}
+
+/// The `fleet_sweep` cells are bit-identical for any worker-thread count
+/// (ISSUE 7: the sweep rides the deterministic parallel runner — each
+/// cell's seed derives from the cell index, never from scheduling).
+#[test]
+fn fleet_sweep_identical_across_thread_counts() {
+    let cells: Vec<(usize, edgelink::RoutePolicy)> = [6usize, 12]
+        .iter()
+        .flat_map(|&n| edgelink::RoutePolicy::ALL.iter().map(move |&p| (n, p)))
+        .collect();
+    let sweep = |threads: usize| {
+        let (rows, _) =
+            marsim::runner::run_map("fleet_det", threads, &cells, |i, &(fleet, policy)| {
+                let spec = marsim::FleetSpec::mar_default(fleet).with_horizon(3.0);
+                marsim::run_fleet_cell(&spec, policy, marsim::runner::job_seed(7, i as u64)).row
+            });
+        rows
+    };
+    let serial = sweep(1);
+    assert_eq!(serial, sweep(2));
+    assert_eq!(serial, sweep(4));
+}
