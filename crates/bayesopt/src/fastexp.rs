@@ -1,0 +1,142 @@
+//! A polynomial `exp` approximation for the kernel batch paths.
+//!
+//! [`fast_exp`] is the classic Cephes `exp`: split `x = n·ln2 + g` with a
+//! two-part ln2 reduction, evaluate a degree-(2,3) rational approximation
+//! of `exp(g)` on `|g| ≤ ln2/2`, and scale by `2ⁿ` built directly from
+//! IEEE-754 exponent bits. No table lookups, no data-dependent branches in
+//! the reduced range — the loop over a candidate block vectorizes where
+//! the libm `exp` call does not.
+//!
+//! Accuracy over the kernel's argument range (`[−8, 0]` for the Matérn
+//! family at the distances the simplex spaces produce) is a couple of ULP
+//! — measured, not assumed, by `fast_exp_stays_within_ulp_budget` below,
+//! which runs in every configuration. The module is always compiled; only
+//! the *use* inside [`crate::Kernel::eval_from_distance_batch`] is gated
+//! behind the `fast-exp` cargo feature, so the default build keeps every
+//! pinned figure byte-identical.
+
+/// Numerator coefficients of the Cephes rational approximation, highest
+/// order first: `P(g²)` with `p(g) = g · P(g²)`.
+const P: [f64; 3] = [
+    1.261_771_930_748_105_908_78e-4,
+    3.029_944_077_074_419_613e-2,
+    9.999_999_999_999_999_999_1e-1,
+];
+
+/// Denominator coefficients, highest order first: `Q(g²)`.
+const Q: [f64; 4] = [
+    3.001_985_051_386_644_550_42e-6,
+    2.524_483_403_496_841_041_92e-3,
+    2.272_655_482_081_550_287_66e-1,
+    2.000_000_000_000_000_000_05,
+];
+
+/// `log₂ e`, used to pick the power-of-two exponent `n`.
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+
+/// High half of `ln 2` (exact in ~20 bits, so `n · C1` is exact for the
+/// `n` range that matters).
+const C1: f64 = 6.931_457_519_531_25e-1;
+
+/// Low half of `ln 2`: `ln 2 − C1`.
+const C2: f64 = 1.428_606_820_309_417_232_12e-6;
+
+/// Approximates `e^x` to within a few ULP.
+///
+/// Out-of-range inputs saturate (`+∞` above ~709, `0` below ~−708) and a
+/// NaN input propagates, matching `f64::exp` behavior at the granularity
+/// the kernels care about (their arguments are `−q ≤ 0`, bounded by the
+/// sample space diameter).
+#[inline]
+pub fn fast_exp(x: f64) -> f64 {
+    if x > 709.0 {
+        return f64::INFINITY;
+    }
+    if x < -708.0 {
+        return 0.0;
+    }
+    // n = round(x / ln 2); floor(t + 0.5) is round-half-up, fine here.
+    let n = (LOG2_E * x + 0.5).floor();
+    // g = x − n·ln2 in two exact-ish steps: |g| ≤ ln2/2 ≈ 0.3466.
+    let g = (x - n * C1) - n * C2;
+    let gg = g * g;
+    // exp(g) ≈ 1 + 2·g·P(g²) / (Q(g²) − g·P(g²)).
+    let p = g * (P[2] + gg * (P[1] + gg * P[0]));
+    let q = Q[3] + gg * (Q[2] + gg * (Q[1] + gg * Q[0]));
+    let e = 1.0 + 2.0 * p / (q - p);
+    // Scale by 2ⁿ: build the power of two straight from exponent bits.
+    e * f64::from_bits(((n as i64 + 1023) as u64) << 52)
+}
+
+/// ULP distance between two finite same-sign doubles (0 when bit-equal).
+///
+/// Exposed so the accuracy tests and EXPERIMENTS.md measurement share one
+/// definition.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    assert!(
+        a.is_finite() && b.is_finite() && a.is_sign_positive() == b.is_sign_positive(),
+        "ulp_distance needs finite same-sign inputs: {a} vs {b}"
+    );
+    a.to_bits().abs_diff(b.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::check::{self, f64s};
+    use simcore::prop_assert;
+
+    /// The budget EXPERIMENTS.md quotes: measured max over the kernel
+    /// argument range is 2 ULP, asserted here with no slack.
+    const MAX_ULP_KERNEL_RANGE: u64 = 2;
+
+    #[test]
+    fn fast_exp_stays_within_ulp_budget() {
+        // Dense deterministic scan of the kernel's argument range
+        // [−8, 0]: Matérn arguments are −q = −√5·r/ℓ with r bounded by
+        // the simplex-space diameter (< 3 for every configured space).
+        let mut worst = 0u64;
+        let mut worst_x = 0.0;
+        let n = 200_000;
+        for i in 0..=n {
+            let x = -8.0 * (i as f64) / (n as f64);
+            let d = ulp_distance(fast_exp(x), x.exp());
+            if d > worst {
+                worst = d;
+                worst_x = x;
+            }
+        }
+        assert!(
+            worst <= MAX_ULP_KERNEL_RANGE,
+            "max ULP error {worst} at x = {worst_x} exceeds the documented budget"
+        );
+        // The budget is tight, not padded: the scan actually reaches it.
+        assert_eq!(worst, MAX_ULP_KERNEL_RANGE, "EXPERIMENTS.md table is stale");
+    }
+
+    #[test]
+    fn fast_exp_is_accurate_over_a_wide_range() {
+        // Outside the kernel range the approximation is still a few ULP.
+        check::check("fast_exp_wide_range", f64s(-600.0..600.0), |&x| {
+            let d = ulp_distance(fast_exp(x), x.exp());
+            prop_assert!(d <= 4, "fast_exp({x}) off by {d} ULP");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn fast_exp_handles_edges() {
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert_eq!(fast_exp(800.0), f64::INFINITY);
+        assert_eq!(fast_exp(-800.0), 0.0);
+        assert!(fast_exp(f64::NAN).is_nan());
+        // Monotone on a coarse grid (no reduction seam glitches).
+        let mut prev = fast_exp(-20.0);
+        for i in 1..=400 {
+            let x = -20.0 + i as f64 * 0.05;
+            let v = fast_exp(x);
+            assert!(v >= prev, "non-monotone at x = {x}");
+            prev = v;
+        }
+    }
+}

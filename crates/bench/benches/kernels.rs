@@ -45,7 +45,18 @@ fn grown_bo(
     bayesopt::BoOptimizer<bayesopt::space::SimplexBoxSpace>,
     StdRng,
 ) {
-    let mut bo = bayesopt::BoOptimizer::new(hbo_space(), bayesopt::BoConfig::default());
+    grown_bo_with(k, bayesopt::BoConfig::default())
+}
+
+/// [`grown_bo`] with a custom optimizer config (pruned / warm variants).
+fn grown_bo_with(
+    k: usize,
+    config: bayesopt::BoConfig,
+) -> (
+    bayesopt::BoOptimizer<bayesopt::space::SimplexBoxSpace>,
+    StdRng,
+) {
+    let mut bo = bayesopt::BoOptimizer::new(hbo_space(), config);
     let mut r = StdRng::seed_from_u64(BO_BENCH_SEED);
     for _ in 0..k {
         let z = bo.suggest(&mut r);
@@ -121,6 +132,29 @@ fn bench_gp(h: &mut Harness) {
     h.bench_batched(
         "bo_suggest_k20",
         || grown_bo(20),
+        |(mut bo, mut r)| black_box(bo.suggest(&mut r)),
+    );
+    // The same suggestion with acquisition-bound candidate pruning: most
+    // of the 1280 candidates skip the full GP posterior (bit-identical
+    // suggestions, pinned by bayesopt's tests).
+    h.bench_batched(
+        "bo_suggest_pruned_k20",
+        || {
+            grown_bo_with(
+                20,
+                bayesopt::BoConfig {
+                    prune: true,
+                    ..bayesopt::BoConfig::default()
+                },
+            )
+        },
+        |(mut bo, mut r)| black_box(bo.suggest(&mut r)),
+    );
+    // The warm-start steady-state suggestion: the 4×-smaller pruned
+    // candidate cloud a cache-seeded session runs with.
+    h.bench_batched(
+        "bo_suggest_warm_k20",
+        || grown_bo_with(20, bayesopt::BoConfig::warm_default()),
         |(mut bo, mut r)| black_box(bo.suggest(&mut r)),
     );
 }

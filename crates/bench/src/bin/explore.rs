@@ -3,11 +3,17 @@
 //!
 //! ```text
 //! explore [SCENARIO] [--seed N] [--weight W] [--iterations K] [--initial M]
-//!         [--device pixel7|s22] [--distance D] [--baselines]
+//!         [--device pixel7|s22] [--distance D] [--baselines] [--warm]
 //!         [--replicates R] [--threads T] [--trace PATH]
 //!
 //! SCENARIO: SC1-CF1 (default) | SC2-CF1 | SC1-CF2 | SC2-CF2
 //! ```
+//!
+//! With `--warm` the scenario is run twice through the fleet-wide
+//! warm-start cache: once cold (empty cache, a miss) and once warm
+//! (seeded by the first run's converged configuration), printing the
+//! windows / suggest-call / convergence comparison — the source of the
+//! cold-vs-warm table in EXPERIMENTS.md.
 //!
 //! With `--replicates R` (R > 1) the activation is repeated R times as a
 //! sweep on the deterministic parallel runner: each replicate's PRNG
@@ -35,10 +41,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use hbo_bench::harness;
-use hbo_core::{Baseline, HboConfig};
-use marsim::experiment::{compare_baselines, run_hbo, run_hbo_traced};
+use hbo_core::{Baseline, HboConfig, WarmCache};
+use marsim::experiment::{compare_baselines, run_hbo, run_hbo_traced, run_hbo_warm};
 use marsim::runner::{self, SweepJob};
 use marsim::ScenarioSpec;
+use simcore::rng::mix;
 use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceJob, Tracer};
 
 struct Args {
@@ -50,6 +57,7 @@ struct Args {
     device: String,
     distance: Option<f64>,
     baselines: bool,
+    warm: bool,
     replicates: usize,
     threads: Option<usize>,
     trace: Option<String>,
@@ -65,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         device: "pixel7".to_owned(),
         distance: None,
         baselines: false,
+        warm: false,
         replicates: 1,
         threads: None,
         trace: None,
@@ -102,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--baselines" => args.baselines = true,
+            "--warm" => args.warm = true,
             "--replicates" => {
                 args.replicates = value(&mut i)?
                     .parse()
@@ -131,8 +141,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: explore [SC1-CF1|SC2-CF1|SC1-CF2|SC2-CF2] [--seed N] [--weight W]\n\
          \x20              [--iterations K] [--initial M] [--device pixel7|s22]\n\
-         \x20              [--distance D] [--baselines] [--replicates R] [--threads T]\n\
-         \x20              [--trace PATH]"
+         \x20              [--distance D] [--baselines] [--warm] [--replicates R]\n\
+         \x20              [--threads T] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -225,6 +235,25 @@ fn main() {
                 o.reward(config.w),
                 o.allocation.iter().map(|d| d.letter()).collect::<String>()
             );
+        }
+    } else if args.warm {
+        // Cold-vs-warm comparison through the fleet-wide cache: run 1
+        // misses (empty cache) and stores its converged configuration;
+        // run 2 (a derived seed, so a genuinely different activation)
+        // hits and seeds its BO design from it.
+        let mut cache = WarmCache::new();
+        let cold = run_hbo_warm(&spec, &config, args.seed, &mut cache);
+        let warm = run_hbo_warm(&spec, &config, mix(args.seed, 1), &mut cache);
+        for (label, r) in [("cold", &cold), ("warm", &warm)] {
+            println!(
+                "{label}: hit={} windows={} bo_suggests={} converged_at={}",
+                r.warm_hit,
+                r.run.records.len(),
+                r.run.telemetry.bo_suggests,
+                r.run.iterations_to_converge()
+            );
+            print!("  ");
+            print_best(&r.run);
         }
     } else if args.replicates > 1 {
         // Replicate sweep: seeds derived from (--seed, replicate index) on

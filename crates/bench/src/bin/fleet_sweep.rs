@@ -3,7 +3,7 @@
 //! four-server cluster of `marsim::fleet::mar_cluster`.
 //!
 //! ```text
-//! fleet_sweep [--smoke] [--seed N] [--threads T]
+//! fleet_sweep [--smoke] [--warm] [--seed N] [--threads T]
 //! ```
 //!
 //! Emits one JSON line per `(fleet size, policy)` cell — cluster-level
@@ -13,20 +13,31 @@
 //! index)`, so the row set is bit-identical for any `--threads` setting
 //! (pinned, with a golden cell, by `tests/end_to_end.rs`).
 //!
+//! `--warm` prepends a per-class HBO planning pass per fleet-size epoch,
+//! sharing one fleet-wide warm-start cache across epochs: each class
+//! plans against a clone of the epoch-start cache, and the per-job
+//! shadow caches merge back in class order — so the `fleet_plan` rows
+//! are bit-identical for any `--threads` setting too, and epochs after
+//! the first run warm. The cell rows are byte-identical with and
+//! without `--warm` (cell seeds never depend on the planning pass).
+//!
 //! The full sweep covers hundreds of thousands of client-windows
 //! (session-seconds); `--smoke` shrinks it to seconds of wall time for
 //! CI.
 
 use edgelink::RoutePolicy;
 use hbo_bench::harness;
-use marsim::fleet::{run_fleet_cell, FleetSpec};
+use hbo_core::WarmCache;
+use marsim::fleet::{run_class_plan, run_fleet_cell, FleetSpec};
 use marsim::runner::{self, job_seed, MetricSummary};
 use marsim::TelemetrySummary;
+use simcore::rng::mix;
 use simcore::stats::Running;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
+    let warm = argv.iter().any(|a| a == "--warm");
     let seed: u64 = argv
         .iter()
         .position(|a| a == "--seed")
@@ -44,6 +55,29 @@ fn main() {
         (vec![64, 256, 1024, 4096], 30.0)
     };
 
+    // Warm-start planning pass: one HBO plan per device class per
+    // fleet-size epoch, against a cache snapshot cloned at epoch start;
+    // shadows merge back in class order (deterministic for any thread
+    // count). Runs before the cells, whose seeds it never touches.
+    let mut plan_telemetry = TelemetrySummary::default();
+    if warm {
+        let mut cache = WarmCache::new();
+        for (epoch, &fleet) in fleets.iter().enumerate() {
+            let spec = FleetSpec::mar_default(fleet).with_horizon(horizon);
+            let class_idxs: Vec<usize> = (0..spec.classes.len()).collect();
+            let snapshot = cache.clone();
+            let seed_base = mix(mix(seed, 0x9A11_0001), epoch as u64);
+            let (plans, _) = runner::run_map("fleet_plan", threads, &class_idxs, |_, &i| {
+                run_class_plan(&spec, i, seed_base, &snapshot)
+            });
+            for p in &plans {
+                println!("{}", p.row);
+                plan_telemetry.merge(&p.telemetry);
+                cache.merge(&p.shadow);
+            }
+        }
+    }
+
     let cells: Vec<(usize, RoutePolicy)> = fleets
         .iter()
         .flat_map(|&n| RoutePolicy::ALL.iter().map(move |&p| (n, p)))
@@ -58,7 +92,7 @@ fn main() {
     }
     // Merge per-cell telemetry and metrics in cell order (deterministic
     // for any thread count).
-    let mut telemetry = TelemetrySummary::default();
+    let mut telemetry = plan_telemetry;
     let mut completed = Running::new();
     let mut mean_ms = Running::new();
     for r in &outcomes {

@@ -48,6 +48,7 @@ mod cost;
 mod lookup;
 mod profile;
 mod session;
+mod warm;
 
 pub use activation::{ActivationDecision, ActivationPolicy, ActivationReason, PeriodicPolicy};
 pub use algorithm::{CostMode, HboConfig, HboController, HboPoint, IterationRecord};
@@ -56,7 +57,9 @@ pub use baselines::{
     all_nnapi_allocation, best_local_allocation, edge_only_allocation, static_best_allocation,
     Baseline,
 };
+pub use bayesopt::BoConfig;
 pub use cost::{cost, normalized_latency, reward};
-pub use lookup::{LookupKey, LookupTable, StoredConfig};
+pub use lookup::{LookupKey, LookupTable, StoredConfig, DEFAULT_LOOKUP_CAPACITY};
 pub use profile::TaskProfile;
 pub use session::{HboSession, SessionConfig, SessionStep};
+pub use warm::{ScenarioSignature, WarmCache, DEFAULT_WARM_CAPACITY};

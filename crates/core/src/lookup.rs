@@ -9,7 +9,11 @@ use nnmodel::Delegate;
 
 /// Quantized environmental conditions, as the paper proposes: "maximum
 /// triangle count, average distances, and task configurations".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Ord` derive gives keys a total order the bounded table uses to
+/// break eviction ties deterministically despite `HashMap` iteration
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LookupKey {
     /// Fingerprint of the taskset (names + counts).
     pub taskset: u64,
@@ -67,7 +71,20 @@ pub struct StoredConfig {
     pub reward: f64,
 }
 
+/// Default bound on [`LookupTable`] entries — generous for one session
+/// (a handful of conditions), tight enough that a fleet of millions of
+/// churning sessions cannot grow the table without limit.
+pub const DEFAULT_LOOKUP_CAPACITY: usize = 4096;
+
 /// The memoization table.
+///
+/// Bounded: at most `capacity` conditions are retained. When a new
+/// condition arrives at capacity, the entry with the lowest reward is
+/// evicted — unless the newcomer is no better than that worst resident,
+/// in which case the newcomer is dropped instead (better-reward-wins,
+/// extended across keys). Ties break on the key's total order, so
+/// eviction is deterministic even though the backing store is a
+/// `HashMap`.
 ///
 /// # Example
 ///
@@ -78,15 +95,40 @@ pub struct StoredConfig {
 /// let key = LookupKey::quantize(42, 1_000_000, 1.2);
 /// assert!(table.find(&key).is_none());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LookupTable {
     entries: HashMap<LookupKey, StoredConfig>,
+    capacity: usize,
+}
+
+impl Default for LookupTable {
+    fn default() -> Self {
+        LookupTable::with_capacity(DEFAULT_LOOKUP_CAPACITY)
+    }
 }
 
 impl LookupTable {
-    /// Creates an empty table.
+    /// Creates an empty table with the default capacity.
     pub fn new() -> Self {
         LookupTable::default()
+    }
+
+    /// Creates an empty table bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        LookupTable {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// The bound on stored conditions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of stored conditions.
@@ -100,14 +142,31 @@ impl LookupTable {
     }
 
     /// Stores (or overwrites) the solution for a condition, keeping the
-    /// better-reward entry on collision.
+    /// better-reward entry on collision. At capacity, a new condition
+    /// displaces the worst-reward resident only if it beats it (ties keep
+    /// the resident; among equally-bad residents the smallest key goes).
     pub fn store(&mut self, key: LookupKey, config: StoredConfig) {
         match self.entries.get(&key) {
-            Some(existing) if existing.reward >= config.reward => {}
-            _ => {
+            Some(existing) if existing.reward >= config.reward => return,
+            Some(_) => {
                 self.entries.insert(key, config);
+                return;
             }
+            None => {}
         }
+        if self.entries.len() >= self.capacity {
+            let worst = self
+                .entries
+                .iter()
+                .min_by(|a, b| a.1.reward.total_cmp(&b.1.reward).then_with(|| a.0.cmp(b.0)))
+                .map(|(k, v)| (*k, v.reward))
+                .expect("capacity >= 1, so a full table is non-empty");
+            if worst.1 >= config.reward {
+                return; // the newcomer is no better than the worst resident
+            }
+            self.entries.remove(&worst.0);
+        }
+        self.entries.insert(key, config);
     }
 
     /// Exact-bucket lookup.
@@ -183,6 +242,59 @@ mod tests {
         assert_eq!(t.find(&key).unwrap().reward, 0.7);
         t.store(key, config(0.9));
         assert_eq!(t.find(&key).unwrap().reward, 0.9);
+    }
+
+    #[test]
+    fn capacity_bounds_the_table_with_deterministic_eviction() {
+        // Regression: the table used to be an unbounded HashMap, which
+        // leaks at millions-of-sessions scale.
+        let mut t = LookupTable::with_capacity(2);
+        assert_eq!(t.capacity(), 2);
+        let k1 = LookupKey::quantize(1, 500_000, 1.0);
+        let k2 = LookupKey::quantize(2, 500_000, 1.0);
+        let k3 = LookupKey::quantize(3, 500_000, 1.0);
+        t.store(k1, config(0.5));
+        t.store(k2, config(0.8));
+        // A better newcomer displaces the worst resident (k1).
+        t.store(k3, config(0.7));
+        assert_eq!(t.len(), 2);
+        assert!(t.find(&k1).is_none(), "worst entry must be evicted");
+        assert!(t.find(&k2).is_some() && t.find(&k3).is_some());
+        // A worse newcomer is dropped, not admitted.
+        let k4 = LookupKey::quantize(4, 500_000, 1.0);
+        t.store(k4, config(0.1));
+        assert_eq!(t.len(), 2);
+        assert!(t.find(&k4).is_none());
+        // Same-key better-reward updates never trigger eviction.
+        t.store(k2, config(0.9));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.find(&k2).unwrap().reward, 0.9);
+    }
+
+    #[test]
+    fn eviction_ties_break_on_key_order() {
+        // Two residents with equal rewards: the smaller key goes,
+        // regardless of HashMap iteration order.
+        let mut t = LookupTable::with_capacity(2);
+        let lo = LookupKey::quantize(1, 500_000, 1.0);
+        let hi = LookupKey::quantize(9, 500_000, 1.0);
+        assert!(lo < hi);
+        t.store(hi, config(0.5));
+        t.store(lo, config(0.5));
+        t.store(LookupKey::quantize(5, 500_000, 1.0), config(0.6));
+        assert!(t.find(&lo).is_none(), "tie must evict the smaller key");
+        assert!(t.find(&hi).is_some());
+    }
+
+    #[test]
+    fn default_capacity_is_applied() {
+        assert_eq!(LookupTable::new().capacity(), DEFAULT_LOOKUP_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        LookupTable::with_capacity(0);
     }
 
     #[test]

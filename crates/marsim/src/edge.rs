@@ -25,7 +25,8 @@ pub use edgelink::{LinkParams, ServerParams};
 
 use edgelink::{ClientSpec, EdgeSim};
 use hbo_core::{
-    best_local_allocation, edge_only_allocation, HboConfig, HboController, HboPoint, TaskProfile,
+    best_local_allocation, edge_only_allocation, HboConfig, HboController, HboPoint, StoredConfig,
+    TaskProfile, WarmCache,
 };
 use nnmodel::Delegate;
 use simcore::rand::SeedableRng;
@@ -34,7 +35,10 @@ use simcore::trace::Tracer;
 use simcore::{QueueKind, SimTime};
 
 use crate::app::{task_period_ms, MarApp, TASK_GAP_MS, TASK_JITTER_MS};
-use crate::experiment::{trace_hbo_window, HboRunResult, CONTROL_PERIOD_SECS};
+use crate::experiment::{
+    point_from_stored, scenario_signature, seed_fits, trace_hbo_window, warm_variant, HboRunResult,
+    WarmRunResult, CONTROL_PERIOD_SECS,
+};
 use crate::scenario::ScenarioSpec;
 use crate::telemetry::TelemetrySummary;
 
@@ -437,6 +441,18 @@ pub fn run_edge_hbo_traced(
     seed: u64,
     tracer: Tracer,
 ) -> HboRunResult {
+    run_edge_hbo_inner(spec, config, seed, tracer, None)
+}
+
+/// The shared edge-activation driver behind [`run_edge_hbo_traced`] and
+/// [`run_edge_hbo_warm`] (mirrors `experiment::run_hbo_inner`).
+fn run_edge_hbo_inner(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+    warm_seed: Option<&StoredConfig>,
+) -> HboRunResult {
     let mut world = EdgeWorld::new_traced(spec, mix(seed, 0xED6E_0001), tracer.clone());
     let hbo_track = tracer.register_track("hbo", "hbo control");
     world.place_all_objects();
@@ -453,6 +469,16 @@ pub fn run_edge_hbo_traced(
     let m = world.measure_for_secs(CONTROL_PERIOD_SECS);
     hbo.observe(incumbent, m.quality, m.epsilon);
     trace_hbo_window(&tracer, hbo_track, 0, start, m.at, &hbo.records()[0]);
+    let mut seeded_windows = 1u64; // the incumbent costs no suggest call
+    if let Some(stored) = warm_seed {
+        let point = point_from_stored(stored);
+        world.apply(&point);
+        let start = world.app().now();
+        let m = world.measure_for_secs(CONTROL_PERIOD_SECS);
+        hbo.observe(point, m.quality, m.epsilon);
+        trace_hbo_window(&tracer, hbo_track, 1, start, m.at, &hbo.records()[1]);
+        seeded_windows += 1;
+    }
     while !hbo.is_done() {
         hbo.set_trace_now(world.app().now());
         let point = hbo.next_point(&mut rng);
@@ -467,12 +493,61 @@ pub fn run_edge_hbo_traced(
         .best()
         .expect("activation ran at least one iteration")
         .clone();
+    let mut telemetry = world.telemetry();
+    telemetry.bo_suggests = hbo.completed_iterations() as u64 - seeded_windows;
     HboRunResult {
         scenario: spec.name.clone(),
         best_cost_trace: hbo.best_cost_trace(),
         records: hbo.records().to_vec(),
         best,
-        telemetry: world.telemetry(),
+        telemetry,
+    }
+}
+
+/// [`run_edge_hbo`] with the fleet-wide warm-start cache in the loop
+/// (mirrors [`crate::experiment::run_hbo_warm`], with the edge dimension
+/// in the signature and a 4-simplex seed guard).
+///
+/// # Panics
+///
+/// Panics if `spec.edge` is `None`.
+pub fn run_edge_hbo_warm(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    cache: &mut WarmCache,
+) -> WarmRunResult {
+    let signature = scenario_signature(spec);
+    let seed_config = cache
+        .find(&signature)
+        .filter(|s| seed_fits(s, spec))
+        .cloned();
+    let warm_hit = seed_config.is_some();
+    let mut run = match &seed_config {
+        Some(stored) => run_edge_hbo_inner(
+            spec,
+            &warm_variant(config),
+            seed,
+            Tracer::disabled(),
+            Some(stored),
+        ),
+        None => run_edge_hbo_inner(spec, config, seed, Tracer::disabled(), None),
+    };
+    run.telemetry.warm_hits = warm_hit as u64;
+    run.telemetry.warm_misses = !warm_hit as u64;
+    cache.store(
+        signature,
+        StoredConfig {
+            c: run.best.point.c.clone(),
+            x: run.best.point.x,
+            allocation: run.best.point.allocation.clone(),
+            reward: -run.best.cost,
+        },
+    );
+    WarmRunResult {
+        run,
+        warm_hit,
+        signature,
     }
 }
 

@@ -2,8 +2,8 @@
 //! (Figs. 4–7, Tables III–IV).
 
 use hbo_core::{
-    all_nnapi_allocation, static_best_allocation, Baseline, CostMode, HboConfig, HboController,
-    IterationRecord,
+    all_nnapi_allocation, static_best_allocation, Baseline, BoConfig, CostMode, HboConfig,
+    HboController, HboPoint, IterationRecord, ScenarioSignature, StoredConfig, WarmCache,
 };
 use nnmodel::Delegate;
 use simcore::rand::SeedableRng;
@@ -115,6 +115,33 @@ pub fn run_hbo_traced(
     seed: u64,
     tracer: Tracer,
 ) -> HboRunResult {
+    run_hbo_inner(spec, config, seed, tracer, None)
+}
+
+/// Turns a cached converged configuration into a concrete seed window
+/// point (mirrors how `HboController` lays out `z = c ++ [x]`).
+pub(crate) fn point_from_stored(stored: &StoredConfig) -> HboPoint {
+    let mut z = stored.c.clone();
+    z.push(stored.x);
+    HboPoint {
+        z,
+        c: stored.c.clone(),
+        x: stored.x,
+        allocation: stored.allocation.clone(),
+    }
+}
+
+/// The shared activation driver behind [`run_hbo_traced`] and
+/// [`run_hbo_warm`]. `warm_seed` (when present) is observed as one extra
+/// seeded window right after the incumbent, feeding the cached converged
+/// configuration into the BO dataset without touching the RNG stream.
+fn run_hbo_inner(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+    warm_seed: Option<&StoredConfig>,
+) -> HboRunResult {
     let mut app = MarApp::new_traced(spec, tracer.clone());
     let hbo_track = tracer.register_track("hbo", "hbo control");
     app.place_all_objects();
@@ -131,6 +158,16 @@ pub fn run_hbo_traced(
     let m = app.measure_for_secs(CONTROL_PERIOD_SECS);
     hbo.observe(incumbent, m.quality, m.epsilon);
     trace_hbo_window(&tracer, hbo_track, 0, start, m.at, &hbo.records()[0]);
+    let mut seeded_windows = 1u64; // the incumbent costs no suggest call
+    if let Some(stored) = warm_seed {
+        let point = point_from_stored(stored);
+        app.apply(&point);
+        let start = app.now();
+        let m = app.measure_for_secs(CONTROL_PERIOD_SECS);
+        hbo.observe(point, m.quality, m.epsilon);
+        trace_hbo_window(&tracer, hbo_track, 1, start, m.at, &hbo.records()[1]);
+        seeded_windows += 1;
+    }
     while !hbo.is_done() {
         hbo.set_trace_now(app.now());
         let point = hbo.next_point(&mut rng);
@@ -145,12 +182,130 @@ pub fn run_hbo_traced(
         .best()
         .expect("activation ran at least one iteration")
         .clone();
+    let mut telemetry = app.telemetry();
+    telemetry.bo_suggests = hbo.completed_iterations() as u64 - seeded_windows;
     HboRunResult {
         scenario: spec.name.clone(),
         best_cost_trace: hbo.best_cost_trace(),
         records: hbo.records().to_vec(),
         best,
-        telemetry: app.telemetry(),
+        telemetry,
+    }
+}
+
+/// Computes the fleet-cache identity of a scenario: device fingerprint,
+/// model multiset, render-load band (maximum scene triangles per metre of
+/// user distance, half-octave quantized), and edge capability.
+pub fn scenario_signature(spec: &ScenarioSpec) -> ScenarioSignature {
+    let models = spec.task_models();
+    let load = spec.scene().total_max_triangles() as f64 / spec.user_distance;
+    ScenarioSignature::quantize(
+        &spec.device.name,
+        models.iter().map(|m| m.as_str()),
+        load,
+        spec.edge.is_some(),
+    )
+}
+
+/// The outcome of one warm-started HBO activation.
+#[derive(Debug, Clone)]
+pub struct WarmRunResult {
+    /// The activation outcome (telemetry carries the warm counters).
+    pub run: HboRunResult,
+    /// Whether the fleet cache supplied a usable seed configuration.
+    pub warm_hit: bool,
+    /// The signature the session looked up — and stored its own converged
+    /// configuration back under.
+    pub signature: ScenarioSignature,
+}
+
+/// Applies [`BoConfig::warm_default`]'s cheaper optimizer settings and a
+/// minimal random design to a config whose dataset starts with a cached
+/// converged seed.
+pub(crate) fn warm_variant(config: &HboConfig) -> HboConfig {
+    let warm = BoConfig::warm_default();
+    let mut out = config.clone();
+    out.bo.n_candidates = warm.n_candidates;
+    out.bo.n_local = warm.n_local;
+    out.bo.prune = warm.prune;
+    // With the incumbent plus a converged seed already observed, long
+    // random design is wasted wall-clock: hand over to the surrogate
+    // almost immediately.
+    out.n_initial = out.n_initial.min(2);
+    out
+}
+
+/// True when a cached configuration fits the scenario's decision space
+/// (a 3-simplex seed cannot warm a 4-simplex session or vice versa).
+pub(crate) fn seed_fits(stored: &StoredConfig, spec: &ScenarioSpec) -> bool {
+    let dim = if spec.profiles().iter().any(|p| p.supports(Delegate::Edge)) {
+        Delegate::COUNT
+    } else {
+        Delegate::COUNT - 1
+    };
+    stored.c.len() == dim
+}
+
+/// [`run_hbo`] with the fleet-wide warm-start cache in the loop, keyed on
+/// [`scenario_signature`]. See [`run_hbo_warm_keyed`].
+pub fn run_hbo_warm(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    cache: &mut WarmCache,
+) -> WarmRunResult {
+    let sig = scenario_signature(spec);
+    run_hbo_warm_keyed(spec, config, seed, cache, sig)
+}
+
+/// [`run_hbo_warm`] with a caller-chosen signature (the fleet planner
+/// keys per-class plans on class identity rather than a full scenario).
+///
+/// On a cache hit the activation observes the cached converged
+/// configuration as a seed window right after the incumbent, switches to
+/// [`BoConfig::warm_default`]'s smaller candidate cloud with pruning, and
+/// shortens the random design; on a miss it runs the cold config
+/// unchanged. Either way the session's own best is stored back
+/// (better-reward-wins) under the same signature, so later sessions warm
+/// up from it. Deterministic given `(spec, config, seed)` and the cache
+/// contents.
+pub fn run_hbo_warm_keyed(
+    spec: &ScenarioSpec,
+    config: &HboConfig,
+    seed: u64,
+    cache: &mut WarmCache,
+    signature: ScenarioSignature,
+) -> WarmRunResult {
+    let seed_config = cache
+        .find(&signature)
+        .filter(|s| seed_fits(s, spec))
+        .cloned();
+    let warm_hit = seed_config.is_some();
+    let mut run = match &seed_config {
+        Some(stored) => run_hbo_inner(
+            spec,
+            &warm_variant(config),
+            seed,
+            Tracer::disabled(),
+            Some(stored),
+        ),
+        None => run_hbo_inner(spec, config, seed, Tracer::disabled(), None),
+    };
+    run.telemetry.warm_hits = warm_hit as u64;
+    run.telemetry.warm_misses = !warm_hit as u64;
+    cache.store(
+        signature,
+        StoredConfig {
+            c: run.best.point.c.clone(),
+            x: run.best.point.x,
+            allocation: run.best.point.allocation.clone(),
+            reward: -run.best.cost,
+        },
+    );
+    WarmRunResult {
+        run,
+        warm_hit,
+        signature,
     }
 }
 

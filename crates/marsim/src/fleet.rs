@@ -25,9 +25,10 @@
 //! permuting the generated vector relabels sessions without changing
 //! any of them (pinned by the cluster relabeling tests).
 
+use arscene::scenarios::{sc2_catalog, DEFAULT_USER_DISTANCE};
 use edgelink::cluster::{ClusterParams, ClusterSim, ServerSpec, SessionSpec};
 use edgelink::{ClientSpec, LinkParams, RoutePolicy, ServerParams};
-use hbo_core::TaskProfile;
+use hbo_core::{HboConfig, LookupKey, ScenarioSignature, TaskProfile, WarmCache};
 use nnmodel::ModelZoo;
 use simcore::rand::{Rng, SeedableRng, StdRng};
 use simcore::rng::mix;
@@ -36,6 +37,8 @@ use soc::DeviceProfile;
 
 use crate::app::{TASK_GAP_MS, TASK_JITTER_MS};
 use crate::edge::fmt_opt_ms;
+use crate::experiment::run_hbo_warm_keyed;
+use crate::scenario::{ScenarioSpec, TaskSpec};
 use crate::telemetry::TelemetrySummary;
 
 /// One kind of client in the fleet: a device running one offloaded model
@@ -396,6 +399,114 @@ pub fn run_fleet_cell(spec: &FleetSpec, policy: RoutePolicy, seed: u64) -> Fleet
     }
 }
 
+/// The fleet-cache identity of one device class: device fingerprint, its
+/// single offloaded model, the class frame rate as the offered-load
+/// scalar, and no edge dimension (the plan optimizes the *on-device*
+/// share of the class workload). Keyed on the class's operating point —
+/// not the fleet size — so later sweep epochs hit the cache warm.
+pub fn class_signature(class: &DeviceClass) -> ScenarioSignature {
+    ScenarioSignature::quantize(
+        &class.device.name,
+        std::iter::once(class.model.as_str()),
+        class.fps,
+        false,
+    )
+}
+
+/// The per-class planning scenario: the class device running its one
+/// offloaded model against the moderate SC2 object set. Small on purpose
+/// — the plan is a control-plane step, not a serving simulation.
+fn plan_scenario(class: &DeviceClass) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("plan-{}", class.name),
+        device: class.device.clone(),
+        objects: sc2_catalog(),
+        tasks: vec![TaskSpec::new(class.model.clone(), 1)],
+        user_distance: DEFAULT_USER_DISTANCE,
+        edge: None,
+        queue: QueueKind::Heap,
+    }
+}
+
+/// The small HBO budget one planning pass spends (a full activation
+/// would dwarf the serving simulation it plans for).
+fn plan_config() -> HboConfig {
+    HboConfig {
+        n_initial: 3,
+        iterations: 6,
+        ..HboConfig::default()
+    }
+}
+
+/// The outcome of one per-class planning pass.
+#[derive(Debug, Clone)]
+pub struct FleetPlanResult {
+    /// The rendered JSON plan row.
+    pub row: String,
+    /// The planning activation's telemetry (BO suggest and warm-start
+    /// counters; merged into the sweep report).
+    pub telemetry: TelemetrySummary,
+    /// The job's shadow cache: the epoch-start snapshot plus this class's
+    /// stored plan. The caller merges shadows in class order.
+    pub shadow: WarmCache,
+}
+
+/// Runs the HBO planning pass for one device class against a snapshot of
+/// the fleet-wide warm cache.
+///
+/// The plan seed derives from the class *name* (not its slot index), and
+/// the cache key from the class's operating point, so permuting the class
+/// list permutes the plan rows without changing any of them — and the
+/// shadow caches merge to the same master either way.
+pub fn run_class_plan(
+    spec: &FleetSpec,
+    class_idx: usize,
+    seed_base: u64,
+    snapshot: &WarmCache,
+) -> FleetPlanResult {
+    let class = &spec.classes[class_idx];
+    let scenario = plan_scenario(class);
+    let seed = mix(
+        seed_base,
+        LookupKey::fingerprint_taskset(std::iter::once(class.name)),
+    );
+    let mut shadow = snapshot.clone();
+    let result = run_hbo_warm_keyed(
+        &scenario,
+        &plan_config(),
+        seed,
+        &mut shadow,
+        class_signature(class),
+    );
+    let run = &result.run;
+    let alloc: String = run
+        .best
+        .point
+        .allocation
+        .iter()
+        .map(|d| d.letter())
+        .collect();
+    let row = format!(
+        "{{\"sweep\":\"fleet_plan\",\"class\":\"{}\",\"fleet\":{},\"warm\":{},\
+         \"windows\":{},\"converged_at\":{},\"suggests\":{},\"alloc\":\"{}\",\
+         \"x\":{:.6},\"cost\":{:.6}}}",
+        class.name,
+        spec.target_sessions,
+        result.warm_hit,
+        run.records.len(),
+        run.iterations_to_converge(),
+        run.telemetry.bo_suggests,
+        alloc,
+        run.best.point.x,
+        run.best.cost
+    );
+    FleetPlanResult {
+        row,
+        telemetry: run.telemetry.clone(),
+        shadow,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +586,92 @@ mod tests {
             assert_eq!(a.row, b.row, "{} diverged", policy.name());
             assert_eq!(a.telemetry, b.telemetry);
         }
+    }
+
+    /// One planning epoch: clone the master into per-class shadows, plan
+    /// every class (optionally on a thread pool), merge shadows back in
+    /// class order.
+    fn plan_epoch(
+        spec: &FleetSpec,
+        seed_base: u64,
+        master: &mut WarmCache,
+        threads: usize,
+    ) -> Vec<FleetPlanResult> {
+        let idxs: Vec<usize> = (0..spec.classes.len()).collect();
+        let snapshot = master.clone();
+        let (plans, _) = crate::runner::run_map("plan", threads, &idxs, |_, &i| {
+            run_class_plan(spec, i, seed_base, &snapshot)
+        });
+        for plan in &plans {
+            master.merge(&plan.shadow);
+        }
+        plans
+    }
+
+    #[test]
+    fn second_plan_epoch_runs_warm_with_fewer_windows() {
+        let spec = small_spec();
+        let mut cache = WarmCache::new();
+        let cold = plan_epoch(&spec, 42, &mut cache, 1);
+        assert!(cold.iter().all(|p| p.telemetry.warm_misses == 1));
+        // Epoch 2 (same classes, any fleet size): every class hits.
+        let warm = plan_epoch(&spec, 43, &mut cache, 1);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(w.telemetry.warm_hits, 1, "row: {}", w.row);
+            assert!(
+                w.telemetry.bo_suggests < c.telemetry.bo_suggests,
+                "warm plan should spend fewer suggests: {} vs {}",
+                w.telemetry.bo_suggests,
+                c.telemetry.bo_suggests
+            );
+        }
+    }
+
+    #[test]
+    fn plan_epochs_are_bit_identical_across_thread_counts() {
+        let spec = small_spec();
+        let mut reference: Option<(Vec<String>, WarmCache)> = None;
+        for threads in [1usize, 2, 4] {
+            let mut cache = WarmCache::new();
+            let mut rows = Vec::new();
+            for (epoch, seed) in [42u64, 43].into_iter().enumerate() {
+                let plans = plan_epoch(&spec, seed, &mut cache, threads);
+                rows.extend(plans.into_iter().map(|p| format!("e{epoch} {}", p.row)));
+            }
+            match &reference {
+                None => reference = Some((rows, cache)),
+                Some((r_rows, r_cache)) => {
+                    assert_eq!(&rows, r_rows, "--threads {threads} changed plan rows");
+                    assert_eq!(&cache, r_cache, "--threads {threads} changed the cache");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_classes_permutes_plans_without_changing_them() {
+        let spec = small_spec();
+        let mut permuted = spec.clone();
+        permuted.classes.rotate_left(1);
+        let mut cache_a = WarmCache::new();
+        let mut cache_b = WarmCache::new();
+        let plans_a = plan_epoch(&spec, 42, &mut cache_a, 1);
+        let plans_b = plan_epoch(&permuted, 42, &mut cache_b, 1);
+        // Matched by class name, each plan row is identical.
+        for (i, class) in spec.classes.iter().enumerate() {
+            let j = permuted
+                .classes
+                .iter()
+                .position(|c| c.name == class.name)
+                .unwrap();
+            assert_eq!(
+                plans_a[i].row, plans_b[j].row,
+                "{} plan changed",
+                class.name
+            );
+        }
+        // And the merged master cache is the same either way.
+        assert_eq!(cache_a, cache_b);
     }
 
     #[test]

@@ -56,9 +56,15 @@ pub mod timeline;
 pub mod userstudy;
 
 pub use app::{task_period_ms, MarApp, Measurement, TASK_GAP_MS, TASK_JITTER_MS, TASK_PERIOD_MS};
-pub use edge::{EdgeMeasurement, EdgeSpec, EdgeSystemOutcome, EdgeWorld};
-pub use experiment::{BaselineOutcome, ExperimentResult, HboRunResult};
-pub use fleet::{run_fleet_cell, DeviceClass, FleetCellResult, FleetSpec};
+pub use edge::{run_edge_hbo_warm, EdgeMeasurement, EdgeSpec, EdgeSystemOutcome, EdgeWorld};
+pub use experiment::{
+    run_hbo_warm, run_hbo_warm_keyed, scenario_signature, BaselineOutcome, ExperimentResult,
+    HboRunResult, WarmRunResult,
+};
+pub use fleet::{
+    class_signature, run_class_plan, run_fleet_cell, DeviceClass, FleetCellResult, FleetPlanResult,
+    FleetSpec,
+};
 pub use runner::{RunnerReport, SweepJob, SweepOutcome, SweepResult};
 pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};
 pub use telemetry::{ProcessorTelemetry, TelemetrySummary};

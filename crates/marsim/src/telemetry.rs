@@ -36,6 +36,15 @@ pub struct TelemetrySummary {
     pub edge_retransmits: u64,
     /// Deepest edge-server admission queue observed.
     pub edge_peak_queue: usize,
+    /// BO `suggest` calls issued by the run's HBO controller(s) — the
+    /// optimizer-side cost counter the amortized control plane exists to
+    /// shrink.
+    pub bo_suggests: u64,
+    /// Warm-start cache hits (sessions seeded from a cached converged
+    /// configuration).
+    pub warm_hits: u64,
+    /// Warm-start cache misses (sessions that ran cold).
+    pub warm_misses: u64,
 }
 
 impl TelemetrySummary {
@@ -71,6 +80,9 @@ impl TelemetrySummary {
         self.edge_rejected += other.edge_rejected;
         self.edge_retransmits += other.edge_retransmits;
         self.edge_peak_queue = self.edge_peak_queue.max(other.edge_peak_queue);
+        self.bo_suggests += other.bo_suggests;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
     }
 
     /// Renders the summary as one JSON object (hand-rolled; hermetic
@@ -88,12 +100,16 @@ impl TelemetrySummary {
         }
         out.push_str(&format!(
             "],\"frames_rendered\":{},\"frames_skipped\":{},\"edge_rejected\":{},\
-             \"edge_retransmits\":{},\"edge_peak_queue\":{},\"max_queue_depth\":{}}}",
+             \"edge_retransmits\":{},\"edge_peak_queue\":{},\"bo_suggests\":{},\
+             \"warm_hits\":{},\"warm_misses\":{},\"max_queue_depth\":{}}}",
             self.frames_rendered,
             self.frames_skipped,
             self.edge_rejected,
             self.edge_retransmits,
             self.edge_peak_queue,
+            self.bo_suggests,
+            self.warm_hits,
+            self.warm_misses,
             self.max_queue_depth()
         ));
         out
@@ -123,6 +139,9 @@ mod tests {
             edge_rejected: 1,
             edge_retransmits: 5,
             edge_peak_queue: 2,
+            bo_suggests: 20,
+            warm_hits: 1,
+            warm_misses: 2,
         }
     }
 
@@ -138,6 +157,9 @@ mod tests {
         assert_eq!(a.edge_rejected, 2);
         assert_eq!(a.edge_retransmits, 10);
         assert_eq!(a.edge_peak_queue, 2);
+        assert_eq!(a.bo_suggests, 40);
+        assert_eq!(a.warm_hits, 2);
+        assert_eq!(a.warm_misses, 4);
         assert_eq!(a.max_queue_depth(), 9);
     }
 
@@ -163,6 +185,14 @@ mod tests {
                 .and_then(|v| v.as_num())
                 .unwrap(),
             4.0
+        );
+        assert_eq!(
+            parsed.get("bo_suggests").and_then(|v| v.as_num()).unwrap(),
+            20.0
+        );
+        assert_eq!(
+            parsed.get("warm_hits").and_then(|v| v.as_num()).unwrap(),
+            1.0
         );
     }
 }

@@ -62,6 +62,11 @@ if sys.argv[2] == "0":
             raise SystemExit(f"missing DES throughput row {bench!r}")
         if "sims_per_wall_sec" not in row:
             raise SystemExit(f"row {bench!r} lacks sims_per_wall_sec")
+    # The amortized-control-plane rows: pruned and warm-start suggest
+    # variants next to the cold bo_suggest_k20 baseline.
+    for bench in ("bo_suggest_k20", "bo_suggest_pruned_k20", "bo_suggest_warm_k20"):
+        if bench not in rows:
+            raise SystemExit(f"missing BO suggest row {bench!r}")
 print(f"{sys.argv[1]}: {i} benches, all lines parse")
 EOF
 elif command -v jq >/dev/null 2>&1; then

@@ -18,6 +18,12 @@ cargo build --release --offline
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+# The fast-exp acquisition path is off by default (every pinned figure
+# uses the exact exp); this leg checks the feature-gated polynomial path
+# still builds and passes its ULP-budget and tolerance tests.
+echo "==> cargo test -q -p bayesopt --features fast-exp --offline"
+cargo test -q -p bayesopt --features fast-exp --offline
+
 # Differential suite: CalendarQueue must stay observationally identical
 # to EventQueue — same (time, seq, event) pop sequence under randomized
 # schedule/pop/clear interleavings. Run explicitly (it is part of the
@@ -63,6 +69,21 @@ cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
 echo "==> fleet smoke (calendar queue): fleet_sweep --smoke --threads 2"
 HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
   --smoke --threads 2 >/dev/null
+
+# Warm-start smoke: the same sweep with the per-class HBO planning pass
+# and the fleet-wide warm cache in front. The fleet_plan rows must be
+# present and the cell rows byte-identical to the plain smoke run
+# (planning must never touch cell seeds).
+echo "==> fleet warm smoke: fleet_sweep --smoke --warm --threads 2"
+warm_dir="$(mktemp -d)"
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 2 | grep '"sweep":"fleet_sweep"' > "$warm_dir/plain.txt"
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --warm --threads 2 > "$warm_dir/warm_full.txt"
+grep -q '"sweep":"fleet_plan"' "$warm_dir/warm_full.txt"
+grep '"sweep":"fleet_sweep"' "$warm_dir/warm_full.txt" > "$warm_dir/warm_cells.txt"
+cmp "$warm_dir/plain.txt" "$warm_dir/warm_cells.txt"
+rm -rf "$warm_dir"
 
 # Trace smoke: run a traced 2-replicate sweep on 2 worker threads and on
 # the serial path, validate the export with the in-tree Chrome trace-JSON
