@@ -307,6 +307,40 @@ fn bench_substrates(h: &mut Harness) {
         }
     }
 
+    // Shared-medium radio DES: one simulated second of 32 closed-loop
+    // clients contending for one stadium cell, per queue kind. Every
+    // flow arrival/departure re-solves the fair-share water-fill over
+    // the whole cell, so this measures the progress-based reallocation
+    // control plane on top of the edgesim event loop.
+    for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+        let name = match queue {
+            simcore::QueueKind::Heap => "mediumsim_32c_1s".to_owned(),
+            _ => format!("mediumsim_32c_1s_{}", queue.name()),
+        };
+        h.bench_sim(
+            &name,
+            1.0,
+            || {
+                let specs: Vec<edgelink::ClientSpec> = (0..32)
+                    .map(|i| edgelink::ClientSpec::mar_default(format!("c{i}")))
+                    .collect();
+                edgelink::EdgeSim::new_shared_traced_with_queue(
+                    edgelink::LinkParams::wifi(),
+                    edgelink::ServerParams::small(),
+                    edgelink::SharedCell::stadium(),
+                    specs,
+                    11,
+                    simcore::trace::Tracer::disabled(),
+                    queue,
+                )
+            },
+            |mut sim| {
+                sim.run_for_secs(1.0);
+                black_box(sim.server_counters())
+            },
+        );
+    }
+
     // Fleet-scale cluster DES: one simulated second of a 256-session
     // heterogeneous churning population routed across the fixed
     // four-server cluster by join-shortest-queue, per queue kind. Setup

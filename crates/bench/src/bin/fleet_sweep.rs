@@ -3,7 +3,7 @@
 //! four-server cluster of `marsim::fleet::mar_cluster`.
 //!
 //! ```text
-//! fleet_sweep [--smoke] [--warm] [--seed N] [--threads T]
+//! fleet_sweep [--smoke] [--warm] [--seed N] [--threads T] [--trace PATH]
 //! ```
 //!
 //! Emits one JSON line per `(fleet size, policy)` cell — cluster-level
@@ -24,15 +24,24 @@
 //! The full sweep covers hundreds of thousands of client-windows
 //! (session-seconds); `--smoke` shrinks it to seconds of wall time for
 //! CI.
+//!
+//! With `--trace PATH` every cell's cluster records per-server queue
+//! depth and busy-lane counters (one Chrome `pid` per cell, in cell
+//! order), written to `PATH` as Chrome trace-event JSON; the emitted
+//! rows stay byte-identical.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use edgelink::RoutePolicy;
 use hbo_bench::harness;
 use hbo_core::WarmCache;
-use marsim::fleet::{run_class_plan, run_fleet_cell, FleetSpec};
+use marsim::fleet::{run_class_plan, run_fleet_cell_traced, FleetSpec};
 use marsim::runner::{self, job_seed, MetricSummary};
 use marsim::TelemetrySummary;
 use simcore::rng::mix;
 use simcore::stats::Running;
+use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceBuffer, TraceJob, Tracer};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +53,11 @@ fn main() {
         .and_then(|i| argv.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(2024);
+    let trace_path: Option<String> = argv
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
     let threads = runner::threads_from_args();
 
     // Fixed cluster, growing fleet: the sweep walks one deployment from
@@ -82,12 +96,29 @@ fn main() {
         .iter()
         .flat_map(|&n| RoutePolicy::ALL.iter().map(move |&p| (n, p)))
         .collect();
+    let traced = trace_path.is_some();
     let (outcomes, mut report) =
         runner::run_map("fleet_sweep", threads, &cells, |i, &(fleet, policy)| {
             let spec = FleetSpec::mar_default(fleet).with_horizon(horizon);
-            run_fleet_cell(&spec, policy, job_seed(seed, i as u64))
+            let cell_seed = job_seed(seed, i as u64);
+            if traced {
+                let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+                let r = run_fleet_cell_traced(
+                    &spec,
+                    policy,
+                    cell_seed,
+                    Tracer::with_sink(Rc::clone(&sink)),
+                );
+                let buffer = sink.borrow().snapshot();
+                (r, Some(buffer))
+            } else {
+                (
+                    run_fleet_cell_traced(&spec, policy, cell_seed, Tracer::disabled()),
+                    None,
+                )
+            }
         });
-    for r in &outcomes {
+    for (r, _) in &outcomes {
         println!("{}", r.row);
     }
     // Merge per-cell telemetry and metrics in cell order (deterministic
@@ -95,7 +126,7 @@ fn main() {
     let mut telemetry = plan_telemetry;
     let mut completed = Running::new();
     let mut mean_ms = Running::new();
-    for r in &outcomes {
+    for (r, _) in &outcomes {
         telemetry.merge(&r.telemetry);
         completed.record(r.completed as f64);
         if let Some(m) = r.mean_ms {
@@ -115,4 +146,22 @@ fn main() {
         },
     ];
     harness::emit_runner_report(&report);
+
+    if let Some(path) = trace_path {
+        let jobs: Vec<TraceJob> = outcomes
+            .iter()
+            .zip(&cells)
+            .filter_map(|((_, trace), &(fleet, policy))| {
+                trace.as_ref().map(|buffer: &TraceBuffer| TraceJob {
+                    name: format!("fleet{fleet} {}", policy.name()),
+                    buffer: buffer.clone(),
+                })
+            })
+            .collect();
+        if let Err(e) = std::fs::write(&path, chrome_trace_json(&jobs)) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("trace written to {path}");
+    }
 }

@@ -37,9 +37,11 @@
 
 use simcore::rng::mix;
 use simcore::stats::{LogHistogram, Running};
+use simcore::trace::{Tracer, TrackId};
 use simcore::{QueueKind, Scheduler, SimDuration, SimTime, Simulator};
 
 use crate::link::{plan_transfer, Direction, LinkParams};
+use crate::medium::{Medium, MediumParams, Mobility};
 use crate::server::{Admission, EdgeServer, ServerParams};
 use crate::sim::ClientSpec;
 
@@ -123,6 +125,48 @@ pub struct SessionSpec {
     pub seed: u64,
 }
 
+/// How sessions reach the cluster over the air.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterRadio {
+    /// Every session gets its own private serializer pair — the original
+    /// model, in which radios never contend.
+    Private,
+    /// Sessions contend for shared cells ([`crate::medium`]), with
+    /// seed-derived placement, optional waypoint mobility, and handover.
+    Shared(SharedMedium),
+}
+
+/// A shared-medium deployment for the cluster: the cell layout plus how
+/// the session population is placed and moves. Placement and walks derive
+/// from each session's own seed, so relabeling invariance holds exactly
+/// as in the private model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedMedium {
+    /// Cells, rate law, mobility tick, handover hysteresis.
+    pub medium: MediumParams,
+    /// Walking speed in m/s; `0` parks every session at its drawn
+    /// position (no mobility ticks, no handover).
+    pub walk_speed_mps: f64,
+    /// Side of the deployment square positions and waypoints are drawn
+    /// in, meters.
+    pub area_m: f64,
+}
+
+impl SharedMedium {
+    /// The mobility model for a session with `seed`.
+    fn mobility(&self, seed: u64) -> Mobility {
+        if self.walk_speed_mps > 0.0 {
+            Mobility::Waypoints {
+                seed,
+                speed_mps: self.walk_speed_mps,
+                area_m: self.area_m,
+            }
+        } else {
+            Mobility::parked(seed, self.area_m)
+        }
+    }
+}
+
 /// The cluster deployment: link profile, members, routing, topology.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterParams {
@@ -137,11 +181,24 @@ pub struct ClusterParams {
     pub cross_zone_ms: f64,
     /// Admission rejections tolerated per request before it is dropped.
     pub max_admission_retries: u32,
+    /// Radio model: private per-session pairs or shared contended cells.
+    pub radio: ClusterRadio,
 }
 
 impl ClusterParams {
     fn validate(&self) {
         self.link.validate();
+        if let ClusterRadio::Shared(shared) = &self.radio {
+            shared.medium.validate();
+            assert!(
+                shared.walk_speed_mps.is_finite() && shared.walk_speed_mps >= 0.0,
+                "walk speed must be non-negative"
+            );
+            assert!(
+                shared.area_m.is_finite() && shared.area_m > 0.0,
+                "deployment area must be positive"
+            );
+        }
         assert!(!self.servers.is_empty(), "need at least one server");
         for (i, s) in self.servers.iter().enumerate() {
             assert!(
@@ -273,16 +330,34 @@ enum Ev {
     },
     /// A server worker lane finished an inference.
     ServerDone { server: usize, slot: usize },
+    /// The shared medium's next internal deadline (generation-guarded).
+    MediumWake { gen: u64 },
+}
+
+/// A session's private serializer pair, boxed inside [`SessRadio`] so
+/// shared-mode populations don't carry two radios per session.
+#[derive(Debug)]
+struct PrivatePair {
+    /// 1-slot uplink serializer, keyed by seq.
+    uplink: soc::FifoServer<u64>,
+    /// 1-slot downlink serializer.
+    downlink: soc::FifoServer<u64>,
+}
+
+/// How one session reaches the air.
+#[derive(Debug)]
+enum SessRadio {
+    /// Private pair (the original model).
+    Private(Box<PrivatePair>),
+    /// Attached to the shared medium as client id `attach`.
+    Shared { attach: usize },
 }
 
 /// One session's radio + loop state.
 #[derive(Debug)]
 struct SessState {
     spec: SessionSpec,
-    /// 1-slot uplink serializer, keyed by seq.
-    uplink: soc::FifoServer<u64>,
-    /// 1-slot downlink serializer.
-    downlink: soc::FifoServer<u64>,
+    radio: SessRadio,
     last_up_delivery: SimTime,
     last_down_delivery: SimTime,
     /// Start time of the latest submission (rate anchor).
@@ -308,6 +383,8 @@ struct ClusterState {
     params: ClusterParams,
     sessions: Vec<SessState>,
     servers: Vec<ServerState>,
+    /// The contended cells, when sessions run shared radios.
+    medium: Option<Medium<(usize, u64)>>,
     /// Next server index for round-robin.
     rr_next: usize,
     /// Peak admission-queue depth across all servers.
@@ -315,6 +392,12 @@ struct ClusterState {
     /// Sessions whose closed loop has ended.
     departed: usize,
     metrics: ClusterMetrics,
+    tracer: Tracer,
+    /// Per-server track for admission-queue counters.
+    trace_servers: Vec<TrackId>,
+    /// Per-cell track for utilization and active-flow counters (shared
+    /// mode only).
+    trace_cells: Vec<TrackId>,
 }
 
 /// The fleet-scale cluster simulator.
@@ -334,6 +417,23 @@ impl ClusterSim {
     /// Panics if the params are invalid or a session departs at or
     /// before it arrives.
     pub fn new(params: ClusterParams, sessions: Vec<SessionSpec>, queue: QueueKind) -> Self {
+        Self::new_traced(params, sessions, queue, Tracer::disabled())
+    }
+
+    /// Like [`ClusterSim::new`], but with a tracer: each server gets a
+    /// counter track for its admission-queue depth, and in shared-radio
+    /// mode each cell gets a track carrying its per-direction utilization
+    /// and active-flow counters.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ClusterSim::new`].
+    pub fn new_traced(
+        params: ClusterParams,
+        sessions: Vec<SessionSpec>,
+        queue: QueueKind,
+        tracer: Tracer,
+    ) -> Self {
         params.validate();
         let mut sim = Simulator::with_queue_kind(queue);
         let start = sim.now();
@@ -345,6 +445,10 @@ impl ClusterSim {
                 server: EdgeServer::new(spec.params, start),
             })
             .collect();
+        let mut medium = match &params.radio {
+            ClusterRadio::Private => None,
+            ClusterRadio::Shared(shared) => Some(Medium::new(shared.medium.clone())),
+        };
         let states: Vec<SessState> = sessions
             .into_iter()
             .map(|spec| {
@@ -354,9 +458,17 @@ impl ClusterSim {
                     spec.depart_secs,
                     spec.arrive_secs
                 );
+                let radio = match (&mut medium, &params.radio) {
+                    (Some(m), ClusterRadio::Shared(shared)) => SessRadio::Shared {
+                        attach: m.add_client(start, shared.mobility(spec.seed)),
+                    },
+                    _ => SessRadio::Private(Box::new(PrivatePair {
+                        uplink: soc::FifoServer::new(1, start),
+                        downlink: soc::FifoServer::new(1, start),
+                    })),
+                };
                 SessState {
-                    uplink: soc::FifoServer::new(1, start),
-                    downlink: soc::FifoServer::new(1, start),
+                    radio,
                     last_up_delivery: start,
                     last_down_delivery: start,
                     started_at: start,
@@ -369,6 +481,17 @@ impl ClusterSim {
                 }
             })
             .collect();
+        let trace_servers: Vec<TrackId> = (0..servers.len())
+            .map(|i| tracer.register_track("edgelink", &format!("server{i}")))
+            .collect();
+        let trace_cells: Vec<TrackId> = medium
+            .as_ref()
+            .map(|m| {
+                (0..m.cell_count())
+                    .map(|i| tracer.register_track("edgelink", &format!("cell{i}")))
+                    .collect()
+            })
+            .unwrap_or_default();
         for (session, st) in states.iter().enumerate() {
             let at = start
                 + SimDuration::from_secs_f64(st.spec.arrive_secs)
@@ -381,10 +504,14 @@ impl ClusterSim {
                 params,
                 sessions: states,
                 servers,
+                medium,
                 rr_next: 0,
                 peak_queue: 0,
                 departed: 0,
                 metrics: ClusterMetrics::default(),
+                tracer,
+                trace_servers,
+                trace_cells,
             },
         }
     }
@@ -465,6 +592,16 @@ impl ClusterSim {
     /// Peak admission-queue depth across all members.
     pub fn peak_queue(&self) -> usize {
         self.state.peak_queue
+    }
+
+    /// Total mid-session handovers (always 0 with private radios).
+    pub fn handovers(&self) -> u64 {
+        self.state.medium.as_ref().map_or(0, |m| m.handovers())
+    }
+
+    /// The shared medium, when the sessions run on one.
+    pub fn medium(&self) -> Option<&Medium<(usize, u64)>> {
+        self.state.medium.as_ref()
     }
 }
 
@@ -565,6 +702,7 @@ impl ClusterState {
                 tries,
             } => self.dispatch(sched, session, seq, tries),
             Ev::ServerDone { server, slot } => self.server_done(sched, server, slot),
+            Ev::MediumWake { gen } => self.medium_wake(sched, gen),
         }
     }
 
@@ -592,16 +730,135 @@ impl ClusterState {
             flow_seed,
             seq,
         );
-        if let Some(start) = st.uplink.enqueue(now, seq, plan.occupancy) {
-            sched.schedule_at(
-                start.done_at,
-                Ev::LaneDone {
-                    session,
-                    dir: Direction::Up,
-                    slot: start.slot,
-                },
-            );
+        match &mut st.radio {
+            SessRadio::Private(radio) => {
+                if let Some(start) = radio.uplink.enqueue(now, seq, plan.occupancy) {
+                    sched.schedule_at(
+                        start.done_at,
+                        Ev::LaneDone {
+                            session,
+                            dir: Direction::Up,
+                            slot: start.slot,
+                        },
+                    );
+                }
+            }
+            SessRadio::Shared { attach } => {
+                let attach = *attach;
+                let bytes = plan.attempts as u64 * st.spec.client.request_bytes;
+                self.start_shared_flow(sched, attach, Direction::Up, bytes, (session, seq));
+            }
         }
+    }
+
+    /// Puts `bytes` of airtime (payload × attempts) on the shared medium
+    /// and refreshes the generation-guarded wake-up.
+    fn start_shared_flow(
+        &mut self,
+        sched: &mut Sched<'_>,
+        attach: usize,
+        dir: Direction,
+        bytes: u64,
+        key: (usize, u64),
+    ) {
+        let now = sched.now();
+        let medium = self.medium.as_mut().expect("shared radio without a medium");
+        medium.start_flow(now, attach, dir, bytes as f64, key);
+        self.emit_cell_counters(now);
+        self.reschedule_wake(sched);
+    }
+
+    /// Schedules the one logical wake-up at the medium's next internal
+    /// deadline; stale generations are ignored on arrival.
+    fn reschedule_wake(&mut self, sched: &mut Sched<'_>) {
+        if let Some(m) = &self.medium {
+            if let Some(t) = m.next_deadline() {
+                sched.schedule_at(t.max(sched.now()), Ev::MediumWake { gen: m.wake_gen() });
+            }
+        }
+    }
+
+    /// The medium hit an internal deadline (flow completion, mobility
+    /// tick, cross-traffic flip): advance it and hand finished transfers
+    /// to the same post-serialization path the private lanes use.
+    fn medium_wake(&mut self, sched: &mut Sched<'_>, gen: u64) {
+        let now = sched.now();
+        let mut done = Vec::new();
+        {
+            let m = self.medium.as_mut().expect("medium wake without a medium");
+            if gen != m.wake_gen() {
+                return;
+            }
+            m.advance(now, &mut done);
+        }
+        for c in done {
+            let (session, seq) = c.key;
+            self.transfer_done(sched, session, c.dir, seq);
+        }
+        self.emit_cell_counters(now);
+        self.reschedule_wake(sched);
+    }
+
+    /// Emits every cell's utilization and active-flow counters. No-op when
+    /// tracing is disabled or the sessions run private radios.
+    fn emit_cell_counters(&self, now: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let Some(m) = &self.medium else { return };
+        for (cell, &track) in self.trace_cells.iter().enumerate() {
+            for (dir, util_name, flows_name) in [
+                (Direction::Up, "up mbps", "up flows"),
+                (Direction::Down, "down mbps", "down flows"),
+            ] {
+                self.tracer.counter(
+                    now,
+                    track,
+                    "edgelink",
+                    util_name,
+                    m.allocated_mbps(cell, dir),
+                );
+                self.tracer.counter(
+                    now,
+                    track,
+                    "edgelink",
+                    flows_name,
+                    m.active_flows(cell, dir) as f64,
+                );
+            }
+        }
+    }
+
+    /// A shared-medium transfer finished its airtime: account
+    /// retransmissions, pay the return hop on responses, and schedule the
+    /// in-order arrival (mirrors the tail of [`ClusterState::lane_done`]).
+    fn transfer_done(&mut self, sched: &mut Sched<'_>, session: usize, dir: Direction, seq: u64) {
+        let now = sched.now();
+        let flow_seed = self.flow_seed(session, dir);
+        let st = &self.sessions[session];
+        let bytes = match dir {
+            Direction::Up => st.spec.client.request_bytes,
+            Direction::Down => st.spec.client.response_bytes,
+        };
+        let plan = plan_transfer(&self.params.link, dir, bytes, flow_seed, seq);
+        if plan.attempts > 1 {
+            self.metrics.retransmits += plan.attempts as u64 - 1;
+        }
+        let extra = match dir {
+            Direction::Up => SimDuration::ZERO,
+            Direction::Down => {
+                let server = st.in_flight.map_or(0, |f| f.server);
+                self.hop(session, server)
+            }
+        };
+        let st = &mut self.sessions[session];
+        let last = match dir {
+            Direction::Up => &mut st.last_up_delivery,
+            Direction::Down => &mut st.last_down_delivery,
+        };
+        let arrive = (now + plan.propagation + extra).max(*last);
+        *last = arrive;
+        sched.schedule_at(arrive, Ev::Arrived { session, dir, seq });
     }
 
     /// A radio lane finished serializing: schedule the in-order arrival
@@ -610,9 +867,12 @@ impl ClusterState {
         let now = sched.now();
         let flow_seed = self.flow_seed(session, dir);
         let st = &mut self.sessions[session];
+        let SessRadio::Private(radio) = &mut st.radio else {
+            unreachable!("lane event on a shared radio")
+        };
         let (bytes, lane) = match dir {
-            Direction::Up => (st.spec.client.request_bytes, &mut st.uplink),
-            Direction::Down => (st.spec.client.response_bytes, &mut st.downlink),
+            Direction::Up => (st.spec.client.request_bytes, &mut radio.uplink),
+            Direction::Down => (st.spec.client.response_bytes, &mut radio.downlink),
         };
         let (seq, next) = lane.on_done(now, slot);
         if let Some(start) = next {
@@ -721,6 +981,21 @@ impl ClusterState {
                 }
             }
         }
+        self.emit_server_counters(now, server);
+    }
+
+    /// Emits one server's admission-queue depth and busy-lane counters.
+    /// No-op when tracing is disabled.
+    fn emit_server_counters(&self, now: SimTime, server: usize) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let track = self.trace_servers[server];
+        let s = &self.servers[server].server;
+        self.tracer
+            .counter(now, track, "edgelink", "queued", s.queue_len() as f64);
+        self.tracer
+            .counter(now, track, "edgelink", "in service", s.in_service() as f64);
     }
 
     /// A request exhausted its admission retries: shed it and move the
@@ -745,6 +1020,7 @@ impl ClusterState {
                 },
             );
         }
+        self.emit_server_counters(now, server);
         let flow_seed = self.flow_seed(session, Direction::Down);
         let st = &mut self.sessions[session];
         let plan = plan_transfer(
@@ -754,15 +1030,24 @@ impl ClusterState {
             flow_seed,
             seq,
         );
-        if let Some(start) = st.downlink.enqueue(now, seq, plan.occupancy) {
-            sched.schedule_at(
-                start.done_at,
-                Ev::LaneDone {
-                    session,
-                    dir: Direction::Down,
-                    slot: start.slot,
-                },
-            );
+        match &mut st.radio {
+            SessRadio::Private(radio) => {
+                if let Some(start) = radio.downlink.enqueue(now, seq, plan.occupancy) {
+                    sched.schedule_at(
+                        start.done_at,
+                        Ev::LaneDone {
+                            session,
+                            dir: Direction::Down,
+                            slot: start.slot,
+                        },
+                    );
+                }
+            }
+            SessRadio::Shared { attach } => {
+                let attach = *attach;
+                let bytes = plan.attempts as u64 * st.spec.client.response_bytes;
+                self.start_shared_flow(sched, attach, Direction::Down, bytes, (session, seq));
+            }
         }
     }
 
@@ -802,6 +1087,8 @@ impl ClusterState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use crate::medium::CellParams;
 
     fn quiet_link() -> LinkParams {
         LinkParams {
@@ -847,6 +1134,7 @@ mod tests {
             policy,
             cross_zone_ms: 10.0,
             max_admission_retries: 2,
+            radio: ClusterRadio::Private,
         }
     }
 
@@ -962,6 +1250,7 @@ mod tests {
             policy: RoutePolicy::ShortestQueue,
             cross_zone_ms: 0.0,
             max_admission_retries: 2,
+            radio: ClusterRadio::Private,
         };
         let sess: Vec<SessionSpec> = (0..8)
             .map(|i| {
@@ -1050,5 +1339,122 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn shared_params(policy: RoutePolicy, walk_speed_mps: f64) -> ClusterParams {
+        let mut p = two_zone_params(policy);
+        p.radio = ClusterRadio::Shared(SharedMedium {
+            medium: MediumParams::single_cell(120.0, 240.0),
+            walk_speed_mps,
+            area_m: 40.0,
+        });
+        p
+    }
+
+    #[test]
+    fn shared_radio_completes_round_trips_and_conserves_bytes() {
+        let mut sim = ClusterSim::new(
+            shared_params(RoutePolicy::ShortestQueue, 0.0),
+            sessions(6, 10.0),
+            QueueKind::Heap,
+        );
+        sim.run_for_secs(10.0);
+        assert!(
+            sim.metrics().completed() > 100,
+            "only {} completions on the shared cell",
+            sim.metrics().completed()
+        );
+        let m = sim.medium().expect("shared mode exposes the medium");
+        m.check_invariants();
+        assert!(m.delivered_bytes() > 0.0);
+        assert!(m.offered_bytes() >= m.delivered_bytes());
+        assert_eq!(sim.handovers(), 0, "one cell cannot hand over");
+    }
+
+    #[test]
+    fn shared_radio_heap_and_calendar_agree() {
+        let run = |queue| {
+            let mut sim = ClusterSim::new(
+                shared_params(RoutePolicy::PowerOfTwo, 0.0),
+                sessions(5, 8.0),
+                queue,
+            );
+            sim.run_for_secs(8.0);
+            (
+                sim.metrics().completed(),
+                sim.metrics().submitted,
+                sim.metrics().dropped,
+                sim.metrics().mean_ms().map(f64::to_bits),
+            )
+        };
+        assert_eq!(
+            run(QueueKind::Heap),
+            run(QueueKind::Calendar),
+            "shared cell diverged across queue kinds"
+        );
+    }
+
+    #[test]
+    fn shared_radio_preserves_relabeling_invariance() {
+        // Placement and walks key off the session seed, not the vector
+        // index, so the relabeling guarantee must survive shared cells.
+        let run = |order: &[usize]| {
+            let base = sessions(5, 8.0);
+            let sess: Vec<SessionSpec> = order.iter().map(|&i| base[i].clone()).collect();
+            let mut sim = ClusterSim::new(
+                shared_params(RoutePolicy::ShortestQueue, 0.0),
+                sess,
+                QueueKind::Heap,
+            );
+            sim.run_for_secs(8.0);
+            let per: Vec<u64> = (0..5).map(|s| sim.session_completed(s)).collect();
+            (sim.metrics().completed(), per)
+        };
+        let id = run(&[0, 1, 2, 3, 4]);
+        let perm = [3, 0, 4, 1, 2];
+        let shuffled = run(&perm);
+        assert_eq!(id.0, shuffled.0, "pooled completions changed");
+        for (new_idx, &old_idx) in perm.iter().enumerate() {
+            assert_eq!(
+                shuffled.1[new_idx], id.1[old_idx],
+                "session {old_idx} changed under shared-cell relabeling"
+            );
+        }
+    }
+
+    #[test]
+    fn walking_sessions_hand_over_between_cells() {
+        let mut params = two_zone_params(RoutePolicy::ShortestQueue);
+        let mut medium = MediumParams::single_cell(120.0, 240.0);
+        medium.cells.push(CellParams {
+            x_m: 120.0,
+            y_m: 0.0,
+            uplink_mbps: 120.0,
+            downlink_mbps: 240.0,
+            cross: None,
+        });
+        params.radio = ClusterRadio::Shared(SharedMedium {
+            medium,
+            walk_speed_mps: 12.0,
+            area_m: 120.0,
+        });
+        let mut sim = ClusterSim::new(params, sessions(8, 30.0), QueueKind::Heap);
+        sim.run_for_secs(30.0);
+        assert!(
+            sim.handovers() > 0,
+            "fast walkers across a 120 m deployment never handed over"
+        );
+        assert!(sim.metrics().completed() > 100);
+        sim.medium().unwrap().check_invariants();
+    }
+
+    #[test]
+    fn sess_radio_is_at_most_two_words() {
+        // Satellite: sessions no longer carry two inline radios each.
+        assert!(
+            std::mem::size_of::<SessRadio>() <= 2 * std::mem::size_of::<usize>(),
+            "SessRadio grew past two words: {} bytes",
+            std::mem::size_of::<SessRadio>()
+        );
     }
 }

@@ -18,6 +18,11 @@
 //! - [`server`] — an edge inference server: K worker lanes (reusing
 //!   [`soc::FifoServer`]) behind a *bounded* admission queue that NACKs
 //!   overload instead of buffering it.
+//! - [`medium`] — [`medium::Medium`], the shared-bandwidth radio layer:
+//!   contended cells whose flows fair-share capacity with progress-based
+//!   reallocation, distance-dependent rate caps, waypoint mobility, and
+//!   mid-session handover. Both simulators below can run on it instead of
+//!   per-client radios (enum-selected; the private default is untouched).
 //! - [`sim`] — [`sim::EdgeSim`], the discrete-event loop in which N
 //!   closed-loop clients contend for the same link profile and server.
 //! - [`cluster`] — [`cluster::ClusterSim`], the fleet-scale layer:
@@ -34,13 +39,16 @@
 
 pub mod cluster;
 pub mod link;
+pub mod medium;
 pub mod server;
 pub mod sim;
 
 pub use cluster::{
-    ClusterMetrics, ClusterParams, ClusterSim, RoutePolicy, ServerSpec, SessionSpec,
+    ClusterMetrics, ClusterParams, ClusterRadio, ClusterSim, RoutePolicy, ServerSpec, SessionSpec,
+    SharedMedium,
 };
 pub use link::{plan_transfer, ByteCounters, Direction, LinkParams, TransferPlan};
+pub use medium::{CellParams, CrossTraffic, Medium, MediumParams, Mobility, RateLaw, SharedCell};
 pub use server::{Admission, EdgeServer, ServerParams};
 pub use sim::{ClientSpec, EdgeSim, FlowMetrics};
 

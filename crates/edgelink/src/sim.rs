@@ -27,6 +27,7 @@ use simcore::trace::{ArgValue, Tracer, TrackId};
 use simcore::{QueueKind, Scheduler, SimDuration, SimTime, Simulator};
 
 use crate::link::{plan_transfer, ByteCounters, Direction, LinkParams};
+use crate::medium::{Medium, Mobility, SharedCell};
 use crate::server::{Admission, EdgeServer, ServerParams};
 
 /// One offloading client: how much it ships per request and how often it
@@ -167,17 +168,38 @@ enum Ev {
     ServerDone { slot: usize },
     /// A rejected request retries admission.
     AdmissionRetry { client: usize, seq: u64, token: u64 },
+    /// The shared medium's next internal deadline (generation-guarded;
+    /// stale generations are ignored).
+    MediumWake { gen: u64 },
+}
+
+/// A client's private serializer pair — soc's FIFO machinery reused as a
+/// radio, keyed by `(seq, token)`. Boxed inside [`Radio`] so shared-mode
+/// clients don't carry lanes they never use.
+#[derive(Debug)]
+struct PrivateRadio {
+    /// 1-slot uplink serializer.
+    uplink: soc::FifoServer<(u64, u64)>,
+    /// 1-slot downlink serializer.
+    downlink: soc::FifoServer<(u64, u64)>,
+}
+
+/// How a client reaches the edge: its own serializer pair (the original
+/// model) or an attachment to the contended [`Medium`].
+#[derive(Debug)]
+enum Radio {
+    /// Private per-client radios; transfers never contend with other
+    /// clients for airtime.
+    Private(Box<PrivateRadio>),
+    /// Attached to the shared medium as client id `attach`.
+    Shared { attach: usize },
 }
 
 /// One client's radio + flow state.
 #[derive(Debug)]
 struct ClientState {
     spec: ClientSpec,
-    /// 1-slot uplink serializer (soc's FIFO machinery reused as a
-    /// radio), keyed by `(seq, token)`.
-    uplink: soc::FifoServer<(u64, u64)>,
-    /// 1-slot downlink serializer.
-    downlink: soc::FifoServer<(u64, u64)>,
+    radio: Radio,
     /// In-order delivery clamps, per direction.
     last_up_delivery: SimTime,
     last_down_delivery: SimTime,
@@ -205,6 +227,9 @@ struct EdgeTraceIds {
     lanes: Vec<TrackId>,
     /// Track carrying the admission-queue and rejection counters.
     server_track: TrackId,
+    /// Track carrying the shared cell's utilization and active-flow
+    /// counters (shared mode only).
+    cell_track: TrackId,
 }
 
 /// The whole edge world state (everything but the event queue).
@@ -213,6 +238,8 @@ struct EdgeState {
     link: LinkParams,
     server: EdgeServer<ReqKey>,
     clients: Vec<ClientState>,
+    /// The contended cell, when the clients run shared radios.
+    medium: Option<Medium<ReqKey>>,
     master_seed: u64,
     /// Peak admission-queue depth observed so far.
     peak_queue: usize,
@@ -289,23 +316,83 @@ impl EdgeSim {
         tracer: Tracer,
         queue: QueueKind,
     ) -> Self {
+        Self::build(link, server, None, clients, master_seed, tracer, queue)
+    }
+
+    /// Builds a world whose clients share one contended cell instead of
+    /// private radios: transfers fair-share the cell capacity under
+    /// distance-dependent per-client rate caps (clients park at
+    /// seed-drawn distances inside `cell.radius_m`). Everything else —
+    /// loss/retransmission, propagation jitter, in-order delivery, the
+    /// admission queue — behaves exactly as in the private model.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`EdgeSim::new`], plus invalid cell params.
+    pub fn new_shared_traced_with_queue(
+        link: LinkParams,
+        server: ServerParams,
+        cell: SharedCell,
+        clients: Vec<ClientSpec>,
+        master_seed: u64,
+        tracer: Tracer,
+        queue: QueueKind,
+    ) -> Self {
+        Self::build(
+            link,
+            server,
+            Some(cell),
+            clients,
+            master_seed,
+            tracer,
+            queue,
+        )
+    }
+
+    fn build(
+        link: LinkParams,
+        server: ServerParams,
+        shared: Option<SharedCell>,
+        clients: Vec<ClientSpec>,
+        master_seed: u64,
+        tracer: Tracer,
+        queue: QueueKind,
+    ) -> Self {
         link.validate();
         assert!(!clients.is_empty(), "need at least one client");
         let mut sim = Simulator::with_queue_kind(queue);
         let start = sim.now();
+        let mut medium = shared.map(|cell| Medium::new(cell.medium_params()));
         let states: Vec<ClientState> = clients
             .into_iter()
-            .map(|spec| ClientState {
-                spec,
-                uplink: soc::FifoServer::new(1, start),
-                downlink: soc::FifoServer::new(1, start),
-                last_up_delivery: start,
-                last_down_delivery: start,
-                submitted: Arena::new(),
-                started_at: start,
-                seq: 0,
-                last_delivered_seq: 0,
-                metrics: FlowMetrics::default(),
+            .enumerate()
+            .map(|(i, spec)| {
+                let radio = match (&mut medium, shared) {
+                    (Some(m), Some(cell)) => Radio::Shared {
+                        attach: m.add_client(
+                            start,
+                            Mobility::Fixed {
+                                x_m: cell.client_distance_m(master_seed, i),
+                                y_m: 0.0,
+                            },
+                        ),
+                    },
+                    _ => Radio::Private(Box::new(PrivateRadio {
+                        uplink: soc::FifoServer::new(1, start),
+                        downlink: soc::FifoServer::new(1, start),
+                    })),
+                };
+                ClientState {
+                    spec,
+                    radio,
+                    last_up_delivery: start,
+                    last_down_delivery: start,
+                    submitted: Arena::new(),
+                    started_at: start,
+                    seq: 0,
+                    last_delivered_seq: 0,
+                    metrics: FlowMetrics::default(),
+                }
             })
             .collect();
         let mut trace = EdgeTraceIds::default();
@@ -323,6 +410,9 @@ impl EdgeSim {
                 .push(tracer.register_track("edgelink", &format!("edge lane{lane}")));
         }
         trace.server_track = tracer.register_track("edgelink", "edge admission");
+        if medium.is_some() {
+            trace.cell_track = tracer.register_track("edgelink", "cell");
+        }
         for (client, st) in states.iter().enumerate() {
             let jitter = jitter_ns(master_seed, client, 0, st.spec.jitter_ms);
             sim.schedule(
@@ -336,6 +426,7 @@ impl EdgeSim {
                 link,
                 server: EdgeServer::new(server, start),
                 clients: states,
+                medium,
                 master_seed,
                 peak_queue: 0,
                 tracer,
@@ -418,6 +509,16 @@ impl EdgeSim {
             .map(|c| c.metrics.retransmits)
             .sum()
     }
+
+    /// Total mid-session handovers (always 0 with private radios).
+    pub fn handovers(&self) -> u64 {
+        self.state.medium.as_ref().map_or(0, |m| m.handovers())
+    }
+
+    /// The shared medium, when the clients run on one.
+    pub fn medium(&self) -> Option<&Medium<ReqKey>> {
+        self.state.medium.as_ref()
+    }
 }
 
 /// Deterministic jitter draw in nanoseconds for `(client, seq)`.
@@ -456,6 +557,7 @@ impl EdgeState {
             Ev::AdmissionRetry { client, seq, token } => {
                 self.offer_to_server(sched, client, seq, token)
             }
+            Ev::MediumWake { gen } => self.medium_wake(sched, gen),
         }
     }
 
@@ -476,20 +578,150 @@ impl EdgeState {
             flow_seed,
             seq,
         );
-        let started = st.uplink.enqueue(now, (seq, token), plan.occupancy);
-        if let Some(start) = started {
-            sched.schedule_at(
-                start.done_at,
-                Ev::LaneDone {
-                    client,
-                    dir: Direction::Up,
-                    slot: start.slot,
-                },
+        match &mut st.radio {
+            Radio::Private(radio) => {
+                let started = radio.uplink.enqueue(now, (seq, token), plan.occupancy);
+                if let Some(start) = started {
+                    sched.schedule_at(
+                        start.done_at,
+                        Ev::LaneDone {
+                            client,
+                            dir: Direction::Up,
+                            slot: start.slot,
+                        },
+                    );
+                }
+                if started.is_some() && self.tracer.is_enabled() {
+                    self.trace_lane_begin(now, client, Direction::Up, seq);
+                }
+            }
+            Radio::Shared { attach } => {
+                let attach = *attach;
+                let bytes = plan.attempts as u64 * st.spec.request_bytes;
+                self.start_shared_flow(sched, attach, Direction::Up, bytes, (client, seq, token));
+            }
+        }
+    }
+
+    /// Puts `bytes` of airtime (payload × attempts) on the shared medium
+    /// and refreshes the generation-guarded wake-up.
+    fn start_shared_flow(
+        &mut self,
+        sched: &mut Sched<'_>,
+        attach: usize,
+        dir: Direction,
+        bytes: u64,
+        key: ReqKey,
+    ) {
+        let now = sched.now();
+        let medium = self.medium.as_mut().expect("shared radio without a medium");
+        medium.start_flow(now, attach, dir, bytes as f64, key);
+        self.trace_cell(now);
+        self.reschedule_wake(sched);
+    }
+
+    /// Schedules the one logical wake-up at the medium's next internal
+    /// deadline, stamped with the current generation. Earlier wake events
+    /// still in the queue become stale and are ignored on arrival.
+    fn reschedule_wake(&mut self, sched: &mut Sched<'_>) {
+        if let Some(m) = &self.medium {
+            if let Some(t) = m.next_deadline() {
+                sched.schedule_at(t.max(sched.now()), Ev::MediumWake { gen: m.wake_gen() });
+            }
+        }
+    }
+
+    /// The medium hit an internal deadline: advance it and hand finished
+    /// transfers to the same post-serialization path the private lanes
+    /// use.
+    fn medium_wake(&mut self, sched: &mut Sched<'_>, gen: u64) {
+        let now = sched.now();
+        let mut done = Vec::new();
+        {
+            let m = self.medium.as_mut().expect("medium wake without a medium");
+            if gen != m.wake_gen() {
+                return;
+            }
+            m.advance(now, &mut done);
+        }
+        for c in done {
+            let (client, seq, token) = c.key;
+            self.transfer_done(sched, client, c.dir, seq, token);
+        }
+        self.trace_cell(now);
+        self.reschedule_wake(sched);
+    }
+
+    /// Emits the shared cell's utilization and active-flow counters. No-op
+    /// when tracing is disabled or the world runs private radios.
+    fn trace_cell(&self, now: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let Some(m) = &self.medium else { return };
+        for (dir, util_name, flows_name) in [
+            (Direction::Up, "cell up mbps", "cell up flows"),
+            (Direction::Down, "cell down mbps", "cell down flows"),
+        ] {
+            self.tracer.counter(
+                now,
+                self.trace.cell_track,
+                "edgelink",
+                util_name,
+                m.allocated_mbps(0, dir),
+            );
+            self.tracer.counter(
+                now,
+                self.trace.cell_track,
+                "edgelink",
+                flows_name,
+                m.active_flows(0, dir) as f64,
             );
         }
-        if started.is_some() && self.tracer.is_enabled() {
-            self.trace_lane_begin(now, client, Direction::Up, seq);
+    }
+
+    /// A shared-medium transfer finished its airtime: account transmitted
+    /// bytes and retransmissions, then schedule the in-order arrival
+    /// (mirrors the tail of [`EdgeState::lane_done`]).
+    fn transfer_done(
+        &mut self,
+        sched: &mut Sched<'_>,
+        client: usize,
+        dir: Direction,
+        seq: u64,
+        token: u64,
+    ) {
+        let now = sched.now();
+        let flow_seed = self.flow_seed(client, dir);
+        let st = &mut self.clients[client];
+        let bytes = match dir {
+            Direction::Up => st.spec.request_bytes,
+            Direction::Down => st.spec.response_bytes,
+        };
+        let plan = plan_transfer(&self.link, dir, bytes, flow_seed, seq);
+        let counters = match dir {
+            Direction::Up => &mut st.metrics.uplink,
+            Direction::Down => &mut st.metrics.downlink,
+        };
+        counters.transmitted += plan.attempts as u64 * bytes;
+        if plan.attempts > 1 {
+            st.metrics.retransmits += plan.attempts as u64 - 1;
         }
+        let last = match dir {
+            Direction::Up => &mut st.last_up_delivery,
+            Direction::Down => &mut st.last_down_delivery,
+        };
+        let arrive = (now + plan.propagation).max(*last);
+        *last = arrive;
+        sched.schedule_at(
+            arrive,
+            Ev::Arrived {
+                client,
+                dir,
+                seq,
+                token,
+            },
+        );
     }
 
     /// A radio lane finished serializing: account the airtime, schedule
@@ -498,9 +730,12 @@ impl EdgeState {
         let now = sched.now();
         let flow_seed = self.flow_seed(client, dir);
         let st = &mut self.clients[client];
+        let Radio::Private(radio) = &mut st.radio else {
+            unreachable!("lane event on a shared radio");
+        };
         let (bytes, lane) = match dir {
-            Direction::Up => (st.spec.request_bytes, &mut st.uplink),
-            Direction::Down => (st.spec.response_bytes, &mut st.downlink),
+            Direction::Up => (st.spec.request_bytes, &mut radio.uplink),
+            Direction::Down => (st.spec.response_bytes, &mut radio.downlink),
         };
         let ((seq, token), next) = lane.on_done(now, slot);
         if let Some(start) = next {
@@ -671,19 +906,28 @@ impl EdgeState {
             flow_seed,
             seq,
         );
-        let started = st.downlink.enqueue(now, (seq, token), plan.occupancy);
-        if let Some(start) = started {
-            sched.schedule_at(
-                start.done_at,
-                Ev::LaneDone {
-                    client,
-                    dir: Direction::Down,
-                    slot: start.slot,
-                },
-            );
-        }
-        if started.is_some() && self.tracer.is_enabled() {
-            self.trace_lane_begin(now, client, Direction::Down, seq);
+        match &mut st.radio {
+            Radio::Private(radio) => {
+                let started = radio.downlink.enqueue(now, (seq, token), plan.occupancy);
+                if let Some(start) = started {
+                    sched.schedule_at(
+                        start.done_at,
+                        Ev::LaneDone {
+                            client,
+                            dir: Direction::Down,
+                            slot: start.slot,
+                        },
+                    );
+                }
+                if started.is_some() && self.tracer.is_enabled() {
+                    self.trace_lane_begin(now, client, Direction::Down, seq);
+                }
+            }
+            Radio::Shared { attach } => {
+                let attach = *attach;
+                let bytes = plan.attempts as u64 * st.spec.response_bytes;
+                self.start_shared_flow(sched, attach, Direction::Down, bytes, (client, seq, token));
+            }
         }
     }
 
@@ -882,6 +1126,90 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    fn shared_sim(n: usize, seed: u64, queue: QueueKind) -> EdgeSim {
+        EdgeSim::new_shared_traced_with_queue(
+            LinkParams::wifi(),
+            ServerParams::small(),
+            SharedCell::stadium(),
+            clients(n),
+            seed,
+            Tracer::disabled(),
+            queue,
+        )
+    }
+
+    #[test]
+    fn shared_cell_contention_raises_latency_with_client_count() {
+        // Unlike the private model, the *radio* is now the bottleneck: a
+        // big server (so admission never binds) still slows everyone down
+        // as the cell fills.
+        let server = ServerParams {
+            worker_lanes: 16,
+            queue_capacity: 64,
+        };
+        let mut means = Vec::new();
+        for n in [1usize, 8, 24] {
+            let mut sim = EdgeSim::new_shared_traced_with_queue(
+                quiet_link(),
+                server,
+                SharedCell::stadium(),
+                clients(n),
+                5,
+                Tracer::disabled(),
+                QueueKind::Heap,
+            );
+            sim.run_for_secs(20.0);
+            let mean = (0..n)
+                .map(|c| sim.metrics(c).latency_overall().mean())
+                .sum::<f64>()
+                / n as f64;
+            means.push(mean);
+        }
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "means = {means:?}"
+        );
+    }
+
+    #[test]
+    fn shared_cell_heap_and_calendar_agree() {
+        let run = |queue| {
+            let mut sim = shared_sim(6, 13, queue);
+            sim.run_for_secs(10.0);
+            (0..6)
+                .flat_map(|c| {
+                    sim.metrics(c)
+                        .samples()
+                        .iter()
+                        .map(|&(t, l)| (t, l.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(QueueKind::Heap), run(QueueKind::Calendar));
+    }
+
+    #[test]
+    fn shared_cell_conserves_medium_bytes() {
+        let mut sim = shared_sim(8, 21, QueueKind::Heap);
+        sim.run_for_secs(12.0);
+        let m = sim.medium().expect("shared sim has a medium");
+        m.check_invariants();
+        // Whatever the medium carried is either delivered or still in
+        // flight; the closed loop keeps at most one request per flow out.
+        assert!(m.delivered_bytes() > 0.0);
+        assert!(m.offered_bytes() >= m.delivered_bytes());
+        assert!(sim.handovers() == 0, "parked clients never hand over");
+    }
+
+    #[test]
+    fn shared_radio_variant_is_pointer_sized() {
+        // The satellite claim: clients no longer carry two inline
+        // serializers each. The radio is one pointer (private, boxed) or
+        // one attachment id (shared) plus the discriminant.
+        assert!(std::mem::size_of::<Radio>() <= 2 * std::mem::size_of::<usize>());
     }
 
     #[test]

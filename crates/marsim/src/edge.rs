@@ -21,7 +21,7 @@
 //! reaches it the same way SoC contention does — through the measured
 //! `(Q, ε)` of each control period.
 
-pub use edgelink::{LinkParams, ServerParams};
+pub use edgelink::{Direction, LinkParams, ServerParams, SharedCell};
 
 use edgelink::{ClientSpec, EdgeSim};
 use hbo_core::{
@@ -39,6 +39,7 @@ use crate::experiment::{
     point_from_stored, scenario_signature, seed_fits, trace_hbo_window, warm_variant, HboRunResult,
     WarmRunResult, CONTROL_PERIOD_SECS,
 };
+use crate::rows::{fmt_opt_ms, JsonRow};
 use crate::scenario::ScenarioSpec;
 use crate::telemetry::TelemetrySummary;
 
@@ -65,6 +66,10 @@ pub struct EdgeSpec {
     /// On-device serialization/compression cost per offloaded inference,
     /// in milliseconds (the stub left on the SoC).
     pub client_overhead_ms: f64,
+    /// When set, all clients contend for this shared cell instead of
+    /// owning private radio pairs; `link` keeps supplying the per-transfer
+    /// loss/jitter/propagation profile.
+    pub shared: Option<SharedCell>,
 }
 
 impl EdgeSpec {
@@ -78,6 +83,7 @@ impl EdgeSpec {
             response_bytes: 4 * 1024,
             server_speedup: 0.15,
             client_overhead_ms: 0.5,
+            shared: None,
         }
     }
 
@@ -89,6 +95,14 @@ impl EdgeSpec {
         self
     }
 
+    /// Switches the fleet onto a shared contended cell. HBO's `τ^e`
+    /// estimate then plans with the effective per-client bandwidth at the
+    /// current population instead of the private link rate.
+    pub fn with_shared_cell(mut self, cell: SharedCell) -> Self {
+        self.shared = Some(cell);
+        self
+    }
+
     /// Edge inference time for a task whose best on-device latency is
     /// `best_local_ms` (floored so trivial models still pay a kernel
     /// launch).
@@ -96,9 +110,23 @@ impl EdgeSpec {
         (best_local_ms * self.server_speedup).max(0.5)
     }
 
+    /// The link profile HBO plans with: the private link as-is, or — on a
+    /// shared cell — the same profile with both bandwidths replaced by the
+    /// effective per-client share at this fleet size.
+    pub fn planning_link(&self) -> LinkParams {
+        match self.shared {
+            None => self.link,
+            Some(cell) => LinkParams {
+                uplink_mbps: cell.effective_client_mbps(Direction::Up, self.clients),
+                downlink_mbps: cell.effective_client_mbps(Direction::Down, self.clients),
+                ..self.link
+            },
+        }
+    }
+
     /// Unloaded offload latency for such a task — the Edge `τ^e`.
     pub fn offload_estimate_ms(&self, best_local_ms: f64) -> f64 {
-        self.link.unloaded_offload_ms(
+        self.planning_link().unloaded_offload_ms(
             self.request_bytes,
             self.response_bytes,
             self.infer_ms(best_local_ms),
@@ -321,14 +349,26 @@ impl EdgeWorld {
             // its tracer by the window start puts its spans on the app
             // timeline (and the sink's track dedup keeps one set of
             // radio/lane tracks across windows).
-            let mut esim = EdgeSim::new_traced_with_queue(
-                self.edge.link,
-                self.edge.server,
-                flows,
-                seed,
-                self.tracer.offset_by(window_start - SimTime::ZERO),
-                self.queue,
-            );
+            let window_tracer = self.tracer.offset_by(window_start - SimTime::ZERO);
+            let mut esim = match self.edge.shared {
+                None => EdgeSim::new_traced_with_queue(
+                    self.edge.link,
+                    self.edge.server,
+                    flows,
+                    seed,
+                    window_tracer,
+                    self.queue,
+                ),
+                Some(cell) => EdgeSim::new_shared_traced_with_queue(
+                    self.edge.link,
+                    self.edge.server,
+                    cell,
+                    flows,
+                    seed,
+                    window_tracer,
+                    self.queue,
+                ),
+            };
             esim.run_for_secs(secs);
 
             // Fleet-mean latency per edge task (flows are laid out
@@ -656,12 +696,18 @@ pub fn compare_edge_systems_traced(
     (outcomes, hbo_run.telemetry)
 }
 
-/// Renders an optional millisecond statistic with the sweep's fixed
-/// 6-decimal format, or JSON `null` when the window had no completions —
-/// so rows distinguish "nothing finished" from a genuine 0 ms mean.
-pub(crate) fn fmt_opt_ms(v: Option<f64>) -> String {
-    match v {
-        Some(x) => format!("{x:.6}"),
+/// Renders the nested edge-stats object shared by the `edge_offload` and
+/// `stadium_sweep` rows (`null` when no task was offloaded).
+fn edge_stats_json(edge: &Option<EdgeStats>) -> String {
+    match edge {
+        Some(e) => format!(
+            "{{\"p95_ms\":{},\"mean_ms\":{},\"completed\":{},\"rejected\":{},\"avg_busy_lanes\":{:.6}}}",
+            fmt_opt_ms(e.p95_ms),
+            fmt_opt_ms(e.mean_ms),
+            e.completed,
+            e.rejected,
+            e.avg_busy_lanes
+        ),
         None => "null".to_owned(),
     }
 }
@@ -675,32 +721,19 @@ pub fn row_json(
     w: f64,
 ) -> String {
     let alloc: String = outcome.allocation.iter().map(|d| d.letter()).collect();
-    let edge = match &outcome.measurement.edge {
-        Some(e) => format!(
-            "{{\"p95_ms\":{},\"mean_ms\":{},\"completed\":{},\"rejected\":{},\"avg_busy_lanes\":{:.6}}}",
-            fmt_opt_ms(e.p95_ms),
-            fmt_opt_ms(e.mean_ms),
-            e.completed,
-            e.rejected,
-            e.avg_busy_lanes
-        ),
-        None => "null".to_owned(),
-    };
-    format!(
-        "{{\"sweep\":\"edge_offload\",\"scenario\":\"{}\",\"clients\":{},\"uplink_mbps\":{:.3},\
-         \"system\":\"{}\",\"alloc\":\"{}\",\"x\":{:.6},\"quality\":{:.6},\"epsilon\":{:.6},\
-         \"reward\":{:.6},\"edge\":{}}}",
-        scenario,
-        clients,
-        uplink_mbps,
-        outcome.system,
-        alloc,
-        outcome.x,
-        outcome.measurement.quality,
-        outcome.measurement.epsilon,
-        outcome.reward(w),
-        edge
-    )
+    let edge = edge_stats_json(&outcome.measurement.edge);
+    JsonRow::new("edge_offload")
+        .str("scenario", scenario)
+        .u64("clients", clients as u64)
+        .f64("uplink_mbps", uplink_mbps, 3)
+        .str("system", outcome.system)
+        .str("alloc", &alloc)
+        .f64("x", outcome.x, 6)
+        .f64("quality", outcome.measurement.quality, 6)
+        .f64("epsilon", outcome.measurement.epsilon, 6)
+        .f64("reward", outcome.reward(w), 6)
+        .raw("edge", &edge)
+        .finish()
 }
 
 /// Runs one `(clients, uplink bandwidth)` cell of the `edge_offload`
@@ -736,6 +769,70 @@ pub fn sweep_cell_traced(
         .map(|o| row_json(&spec.name, clients, uplink_mbps, o, config.w))
         .collect();
     (rows, telemetry)
+}
+
+/// Runs one population cell of the `stadium_sweep`: `clients` users share
+/// one contended cell, HBO optimizes the fleet (planning with the
+/// effective per-client bandwidth), and the best configuration is
+/// re-measured on a fresh fleet. The row reports HBO's edge-allocation
+/// share next to the effective bandwidth, so the sweep shows the flip
+/// back to local inference as the cell fills up.
+pub fn stadium_cell(
+    base: &ScenarioSpec,
+    cell: SharedCell,
+    clients: usize,
+    config: &HboConfig,
+    seed: u64,
+) -> (String, TelemetrySummary) {
+    stadium_cell_traced(base, cell, clients, config, seed, Tracer::disabled())
+}
+
+/// [`stadium_cell`] with a tracer on the HBO activation (the fixed
+/// re-measurement stays untraced, as in [`sweep_cell_traced`]). A
+/// disabled tracer reproduces [`stadium_cell`] bit-identically.
+pub fn stadium_cell_traced(
+    base: &ScenarioSpec,
+    cell: SharedCell,
+    clients: usize,
+    config: &HboConfig,
+    seed: u64,
+    tracer: Tracer,
+) -> (String, TelemetrySummary) {
+    let spec = base
+        .clone()
+        .with_edge(EdgeSpec::wifi(clients).with_shared_cell(cell));
+    let hbo_run = run_edge_hbo_traced(&spec, config, seed, tracer);
+    let best = &hbo_run.best.point;
+    let measurement = evaluate_fixed_edge(&spec, &best.allocation, best.x, mix(seed, 0xED6E_0002));
+    let alloc: String = best.allocation.iter().map(|d| d.letter()).collect();
+    let edge_tasks = best
+        .allocation
+        .iter()
+        .filter(|&&d| d == Delegate::Edge)
+        .count();
+    let row = JsonRow::new("stadium_sweep")
+        .str("scenario", &spec.name)
+        .u64("clients", clients as u64)
+        .f64(
+            "eff_uplink_mbps",
+            cell.effective_client_mbps(Direction::Up, clients),
+            3,
+        )
+        .f64(
+            "eff_downlink_mbps",
+            cell.effective_client_mbps(Direction::Down, clients),
+            3,
+        )
+        .str("alloc", &alloc)
+        .u64("edge_tasks", edge_tasks as u64)
+        .u64("tasks", best.allocation.len() as u64)
+        .f64("x", best.x, 6)
+        .f64("quality", measurement.quality, 6)
+        .f64("epsilon", measurement.epsilon, 6)
+        .f64("reward", measurement.reward(config.w), 6)
+        .raw("edge", &edge_stats_json(&measurement.edge))
+        .finish();
+    (row, hbo_run.telemetry)
 }
 
 #[cfg(test)]

@@ -26,18 +26,20 @@
 //! any of them (pinned by the cluster relabeling tests).
 
 use arscene::scenarios::{sc2_catalog, DEFAULT_USER_DISTANCE};
-use edgelink::cluster::{ClusterParams, ClusterSim, ServerSpec, SessionSpec};
-use edgelink::{ClientSpec, LinkParams, RoutePolicy, ServerParams};
+use edgelink::cluster::{ClusterParams, ClusterRadio, ClusterSim, ServerSpec, SessionSpec};
+use edgelink::medium::{CellParams, MediumParams};
+use edgelink::{ClientSpec, LinkParams, RoutePolicy, ServerParams, SharedMedium};
 use hbo_core::{HboConfig, LookupKey, ScenarioSignature, TaskProfile, WarmCache};
 use nnmodel::ModelZoo;
 use simcore::rand::{Rng, SeedableRng, StdRng};
 use simcore::rng::mix;
+use simcore::trace::Tracer;
 use simcore::QueueKind;
 use soc::DeviceProfile;
 
 use crate::app::{TASK_GAP_MS, TASK_JITTER_MS};
-use crate::edge::fmt_opt_ms;
 use crate::experiment::run_hbo_warm_keyed;
+use crate::rows::JsonRow;
 use crate::scenario::{ScenarioSpec, TaskSpec};
 use crate::telemetry::TelemetrySummary;
 
@@ -318,6 +320,7 @@ pub fn mar_cluster(link: LinkParams, policy: RoutePolicy) -> ClusterParams {
         policy,
         cross_zone_ms: 8.0,
         max_admission_retries: 2,
+        radio: ClusterRadio::Private,
     }
 }
 
@@ -338,12 +341,25 @@ pub struct FleetCellResult {
 /// Runs one fleet cell: generate the population from `seed`, serve it
 /// with `policy` for the spec's horizon, and pool cluster-level stats.
 pub fn run_fleet_cell(spec: &FleetSpec, policy: RoutePolicy, seed: u64) -> FleetCellResult {
+    run_fleet_cell_traced(spec, policy, seed, Tracer::disabled())
+}
+
+/// [`run_fleet_cell`] with a tracer on the cluster (per-server queue
+/// depth and busy-lane counters; per-cell utilization when the radio is
+/// shared). A disabled tracer reproduces [`run_fleet_cell`]
+/// bit-identically.
+pub fn run_fleet_cell_traced(
+    spec: &FleetSpec,
+    policy: RoutePolicy,
+    seed: u64,
+    tracer: Tracer,
+) -> FleetCellResult {
     let sessions = spec.sessions(seed);
     let session_count = sessions.len();
     let client_windows = spec.client_windows(&sessions);
     let params = mar_cluster(spec.link, policy);
     let server_count = params.servers.len();
-    let mut sim = ClusterSim::new(params, sessions, spec.queue);
+    let mut sim = ClusterSim::new_traced(params, sessions, spec.queue, tracer);
     sim.run_for_secs(spec.horizon_secs);
     let m = sim.metrics();
     let mut servers = String::from("[");
@@ -361,30 +377,90 @@ pub fn run_fleet_cell(spec: &FleetSpec, policy: RoutePolicy, seed: u64) -> Fleet
         ));
     }
     servers.push(']');
-    let row = format!(
-        "{{\"sweep\":\"fleet_sweep\",\"policy\":\"{}\",\"fleet\":{},\"sessions\":{},\
-         \"client_windows\":{:.3},\"submitted\":{},\"completed\":{},\"dropped\":{},\
-         \"rejects\":{},\"reject_rate\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
-         \"mean_ms\":{},\"retransmits\":{},\"peak_queue\":{},\"busy_lanes\":{:.6},\
-         \"servers\":{}}}",
-        policy.name(),
-        spec.target_sessions,
-        session_count,
-        client_windows,
-        m.submitted,
-        m.completed(),
-        m.dropped,
-        m.reject_events,
-        fmt_opt_ms(m.reject_rate()),
-        fmt_opt_ms(m.quantile_ms(0.50)),
-        fmt_opt_ms(m.quantile_ms(0.95)),
-        fmt_opt_ms(m.quantile_ms(0.99)),
-        fmt_opt_ms(m.mean_ms()),
-        m.retransmits,
-        sim.peak_queue(),
-        sim.total_avg_busy_lanes(),
-        servers
-    );
+    let row = JsonRow::new("fleet_sweep")
+        .str("policy", policy.name())
+        .u64("fleet", spec.target_sessions as u64)
+        .u64("sessions", session_count as u64)
+        .f64("client_windows", client_windows, 3)
+        .u64("submitted", m.submitted)
+        .u64("completed", m.completed())
+        .u64("dropped", m.dropped)
+        .u64("rejects", m.reject_events)
+        .opt_ms("reject_rate", m.reject_rate())
+        .opt_ms("p50_ms", m.quantile_ms(0.50))
+        .opt_ms("p95_ms", m.quantile_ms(0.95))
+        .opt_ms("p99_ms", m.quantile_ms(0.99))
+        .opt_ms("mean_ms", m.mean_ms())
+        .u64("retransmits", m.retransmits)
+        .u64("peak_queue", sim.peak_queue() as u64)
+        .f64("busy_lanes", sim.total_avg_busy_lanes(), 6)
+        .raw("servers", &servers)
+        .finish();
+    let telemetry = TelemetrySummary {
+        edge_rejected: m.reject_events,
+        edge_retransmits: m.retransmits,
+        edge_peak_queue: sim.peak_queue(),
+        ..TelemetrySummary::default()
+    };
+    FleetCellResult {
+        row,
+        completed: m.completed(),
+        mean_ms: m.mean_ms(),
+        telemetry,
+    }
+}
+
+/// The two-cell walking deployment the stadium sweep's mobility cell
+/// runs on: cells 120 m apart, sessions walking at 12 m/s across the
+/// span, so every session crosses the handover boundary several times
+/// per minute.
+pub fn mobility_medium() -> SharedMedium {
+    let mut medium = MediumParams::single_cell(120.0, 240.0);
+    medium.cells.push(CellParams {
+        x_m: 120.0,
+        y_m: 0.0,
+        uplink_mbps: 120.0,
+        downlink_mbps: 240.0,
+        cross: None,
+    });
+    SharedMedium {
+        medium,
+        walk_speed_mps: 12.0,
+        area_m: 120.0,
+    }
+}
+
+/// Runs the stadium sweep's mobility/handover cell: the fleet population
+/// walks across [`mobility_medium`]'s two cells while offloading, and the
+/// row reports handovers next to the usual latency stats.
+pub fn run_mobility_cell(spec: &FleetSpec, seed: u64) -> FleetCellResult {
+    run_mobility_cell_traced(spec, seed, Tracer::disabled())
+}
+
+/// [`run_mobility_cell`] with a tracer on the cluster (per-cell
+/// utilization and active-flow counters land in the trace). A disabled
+/// tracer reproduces [`run_mobility_cell`] bit-identically.
+pub fn run_mobility_cell_traced(spec: &FleetSpec, seed: u64, tracer: Tracer) -> FleetCellResult {
+    let sessions = spec.sessions(seed);
+    let session_count = sessions.len();
+    let mut params = mar_cluster(spec.link, RoutePolicy::ShortestQueue);
+    params.radio = ClusterRadio::Shared(mobility_medium());
+    let mut sim = ClusterSim::new_traced(params, sessions, spec.queue, tracer);
+    sim.run_for_secs(spec.horizon_secs);
+    let m = sim.metrics();
+    let row = JsonRow::new("stadium_mobility")
+        .u64("fleet", spec.target_sessions as u64)
+        .u64("sessions", session_count as u64)
+        .u64("handovers", sim.handovers())
+        .u64("submitted", m.submitted)
+        .u64("completed", m.completed())
+        .u64("dropped", m.dropped)
+        .u64("rejects", m.reject_events)
+        .opt_ms("p50_ms", m.quantile_ms(0.50))
+        .opt_ms("p95_ms", m.quantile_ms(0.95))
+        .opt_ms("mean_ms", m.mean_ms())
+        .u64("retransmits", m.retransmits)
+        .finish();
     let telemetry = TelemetrySummary {
         edge_rejected: m.reject_events,
         edge_retransmits: m.retransmits,
@@ -486,20 +562,17 @@ pub fn run_class_plan(
         .iter()
         .map(|d| d.letter())
         .collect();
-    let row = format!(
-        "{{\"sweep\":\"fleet_plan\",\"class\":\"{}\",\"fleet\":{},\"warm\":{},\
-         \"windows\":{},\"converged_at\":{},\"suggests\":{},\"alloc\":\"{}\",\
-         \"x\":{:.6},\"cost\":{:.6}}}",
-        class.name,
-        spec.target_sessions,
-        result.warm_hit,
-        run.records.len(),
-        run.iterations_to_converge(),
-        run.telemetry.bo_suggests,
-        alloc,
-        run.best.point.x,
-        run.best.cost
-    );
+    let row = JsonRow::new("fleet_plan")
+        .str("class", &class.name)
+        .u64("fleet", spec.target_sessions as u64)
+        .bool("warm", result.warm_hit)
+        .u64("windows", run.records.len() as u64)
+        .u64("converged_at", run.iterations_to_converge() as u64)
+        .u64("suggests", run.telemetry.bo_suggests as u64)
+        .str("alloc", &alloc)
+        .f64("x", run.best.point.x, 6)
+        .f64("cost", run.best.cost, 6)
+        .finish();
     FleetPlanResult {
         row,
         telemetry: run.telemetry.clone(),

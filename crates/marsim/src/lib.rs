@@ -48,6 +48,7 @@ pub mod experiment;
 pub mod fleet;
 pub mod isolated;
 pub mod load;
+pub mod rows;
 pub mod runner;
 mod scenario;
 pub mod synth;
@@ -56,15 +57,19 @@ pub mod timeline;
 pub mod userstudy;
 
 pub use app::{task_period_ms, MarApp, Measurement, TASK_GAP_MS, TASK_JITTER_MS, TASK_PERIOD_MS};
-pub use edge::{run_edge_hbo_warm, EdgeMeasurement, EdgeSpec, EdgeSystemOutcome, EdgeWorld};
+pub use edge::{
+    run_edge_hbo_warm, stadium_cell, stadium_cell_traced, EdgeMeasurement, EdgeSpec,
+    EdgeSystemOutcome, EdgeWorld,
+};
 pub use experiment::{
     run_hbo_warm, run_hbo_warm_keyed, scenario_signature, BaselineOutcome, ExperimentResult,
     HboRunResult, WarmRunResult,
 };
 pub use fleet::{
-    class_signature, run_class_plan, run_fleet_cell, DeviceClass, FleetCellResult, FleetPlanResult,
-    FleetSpec,
+    class_signature, run_class_plan, run_fleet_cell, run_fleet_cell_traced, run_mobility_cell,
+    run_mobility_cell_traced, DeviceClass, FleetCellResult, FleetPlanResult, FleetSpec,
 };
+pub use rows::JsonRow;
 pub use runner::{RunnerReport, SweepJob, SweepOutcome, SweepResult};
 pub use scenario::{cf1_tasks, cf2_tasks, ScenarioSpec, TaskSpec};
 pub use telemetry::{ProcessorTelemetry, TelemetrySummary};

@@ -53,6 +53,8 @@ if sys.argv[2] == "0":
         "socsim_sc1cf1_1s_calendar",
         "edgesim_8c_1s",
         "edgesim_8c_1s_calendar",
+        "mediumsim_32c_1s",
+        "mediumsim_32c_1s_calendar",
         "fleet_256c_1s",
         "fleet_256c_1s_calendar",
     )

@@ -70,6 +70,18 @@ echo "==> fleet smoke (calendar queue): fleet_sweep --smoke --threads 2"
 HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
   --smoke --threads 2 >/dev/null
 
+# Stadium smoke (ISSUE 9): the shared-medium pipeline end-to-end —
+# contended-cell fair sharing under HBO, plus the two-cell
+# mobility/handover fleet — under both future-event-list
+# implementations. Rows are pinned (golden cell + thread-count
+# identity) by tests/end_to_end.rs.
+echo "==> stadium smoke: stadium_sweep --smoke --threads 2"
+cargo run --release --offline -q -p hbo-bench --bin stadium_sweep -- \
+  --smoke --threads 2 >/dev/null
+echo "==> stadium smoke (calendar queue): stadium_sweep --smoke --threads 2"
+HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin stadium_sweep -- \
+  --smoke --threads 2 >/dev/null
+
 # Warm-start smoke: the same sweep with the per-class HBO planning pass
 # and the fleet-wide warm cache in front. The fleet_plan rows must be
 # present and the cell rows byte-identical to the plain smoke run

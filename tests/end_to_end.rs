@@ -471,3 +471,79 @@ fn fleet_sweep_identical_across_thread_counts() {
     assert_eq!(serial, sweep(2));
     assert_eq!(serial, sweep(4));
 }
+
+/// Golden regression pin (ISSUE 9): one `stadium_sweep` population cell
+/// and the mobility/handover cell, bit-for-bit, under BOTH
+/// future-event-list implementations. The shared-medium pipeline behind
+/// these lines — fair-share reallocation, seed-keyed placement, waypoint
+/// mobility, handover with in-flight-byte preservation, and HBO planning
+/// with the effective per-client bandwidth — must stay deterministic for
+/// the pin to hold.
+#[test]
+fn stadium_sweep_golden_cell_is_pinned() {
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 2,
+        ..HboConfig::default()
+    };
+    let golden_stadium = "{\"sweep\":\"stadium_sweep\",\"scenario\":\"SC1-CF2\",\"clients\":2,\"eff_uplink_mbps\":35.604,\"eff_downlink_mbps\":35.604,\"alloc\":\"CEE\",\"edge_tasks\":2,\"tasks\":3,\"x\":0.992113,\"quality\":0.998051,\"epsilon\":0.151025,\"reward\":0.620489,\"edge\":{\"p95_ms\":21.770277,\"mean_ms\":17.157895,\"completed\":159,\"rejected\":0,\"avg_busy_lanes\":0.109185}}";
+    let golden_mobility = "{\"sweep\":\"stadium_mobility\",\"fleet\":8,\"sessions\":8,\"handovers\":4,\"submitted\":173,\"completed\":167,\"dropped\":0,\"rejects\":0,\"p50_ms\":95.559382,\"p95_ms\":483.002056,\"mean_ms\":151.714810,\"retransmits\":5}";
+    for queue in [simcore::QueueKind::Heap, simcore::QueueKind::Calendar] {
+        let spec = ScenarioSpec::sc1_cf2().with_queue(queue);
+        let (row, _) = marsim::stadium_cell(
+            &spec,
+            edgelink::SharedCell::stadium(),
+            2,
+            &config,
+            marsim::runner::job_seed(2024, 1),
+        );
+        assert_eq!(
+            row,
+            golden_stadium,
+            "stadium_sweep golden cell drifted on the {} queue",
+            queue.name()
+        );
+        let fleet = marsim::FleetSpec::mar_default(8)
+            .with_horizon(4.0)
+            .with_queue(queue);
+        let r = marsim::run_mobility_cell(&fleet, marsim::runner::job_seed(2024, 5));
+        assert_eq!(
+            r.row,
+            golden_mobility,
+            "stadium mobility golden cell drifted on the {} queue",
+            queue.name()
+        );
+    }
+}
+
+/// The `stadium_sweep` cells are bit-identical for any worker-thread
+/// count (the sweep rides the deterministic parallel runner; the medium's
+/// placement and mobility draws key off per-cell seeds, never off
+/// scheduling).
+#[test]
+fn stadium_sweep_identical_across_thread_counts() {
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 1,
+        ..HboConfig::default()
+    };
+    let base = ScenarioSpec::sc1_cf2();
+    let populations = [2usize, 5];
+    let sweep = |threads: usize| {
+        let (rows, _) =
+            marsim::runner::run_map("stadium_det", threads, &populations, |i, &clients| {
+                marsim::stadium_cell(
+                    &base,
+                    edgelink::SharedCell::stadium(),
+                    clients,
+                    &config,
+                    marsim::runner::job_seed(11, i as u64),
+                )
+                .0
+            });
+        rows
+    };
+    let serial = sweep(1);
+    assert_eq!(serial, sweep(2));
+    assert_eq!(serial, sweep(4));
+}
