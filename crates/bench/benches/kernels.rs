@@ -230,6 +230,10 @@ fn bench_substrates(h: &mut Harness) {
     //   and builds its record, but `NullSink` discards it: the record-
     //   construction cost alone.
     // * `chrome` — full in-memory buffering of every span/counter.
+    // * `agg` — the streaming [`simcore::metrics::AggregatingSink`]:
+    //   every event folds into bounded per-series statistics instead of
+    //   being buffered, so it must land well below `chrome` (EXPERIMENTS
+    //   .md tracks the ratio).
     h.bench_batched(
         "trace_overhead_disabled_1s",
         || {
@@ -270,6 +274,24 @@ fn bench_substrates(h: &mut Harness) {
         |(mut app, sink)| {
             app.run_for_secs(1.0);
             black_box(sink.borrow().len())
+        },
+    );
+    h.bench_batched(
+        "trace_overhead_agg_1s",
+        || {
+            let sink = std::rc::Rc::new(std::cell::RefCell::new(
+                simcore::metrics::AggregatingSink::default(),
+            ));
+            let mut app = marsim::MarApp::new_traced(
+                &marsim::ScenarioSpec::sc1_cf1(),
+                simcore::trace::Tracer::with_sink(std::rc::Rc::clone(&sink)),
+            );
+            app.place_all_objects();
+            (app, sink)
+        },
+        |(mut app, sink)| {
+            app.run_for_secs(1.0);
+            black_box(sink.borrow().snapshot().spans.len())
         },
     );
 
@@ -369,6 +391,40 @@ fn bench_substrates(h: &mut Harness) {
             },
         );
     }
+
+    // The same 256-session cluster second with the streaming aggregator
+    // attached: fleet-scale observability cost with memory bounded by
+    // the aggregator's configuration, not by the event count.
+    h.bench_sim(
+        "fleet_256c_agg_1s",
+        1.0,
+        || {
+            let queue = simcore::QueueKind::Heap;
+            let spec = marsim::FleetSpec::mar_default(256).with_queue(queue);
+            let sessions = spec.sessions(17);
+            let params = marsim::fleet::mar_cluster(
+                edgelink::LinkParams::wifi(),
+                edgelink::RoutePolicy::ShortestQueue,
+            );
+            let sink = std::rc::Rc::new(std::cell::RefCell::new(
+                simcore::metrics::AggregatingSink::default(),
+            ));
+            let sim = edgelink::ClusterSim::new_traced(
+                params,
+                sessions,
+                queue,
+                simcore::trace::Tracer::with_sink(std::rc::Rc::clone(&sink)),
+            );
+            (sim, sink)
+        },
+        |(mut sim, sink)| {
+            sim.run_for_secs(1.0);
+            black_box((
+                sim.metrics().completed(),
+                sink.borrow().snapshot().counters.len(),
+            ))
+        },
+    );
 }
 
 fn main() {

@@ -62,10 +62,16 @@ fn main() {
         .map(|(c, n)| format!("{c}:{n}"))
         .collect();
     println!(
-        "{path}: {} events, {} spans, {} counters [{}]",
+        "{path}: {} events, {} spans ({} B/{} E, {} X), {} counters, \
+         {} instants, {} metadata [{}]",
         stats.events,
         stats.spans,
+        stats.begins,
+        stats.ends,
+        stats.completes,
         stats.counters,
+        stats.instants,
+        stats.metadata,
         cats.join(" ")
     );
     let mut missing = false;

@@ -37,16 +37,14 @@
 //! cargo run --release -p hbo-bench --bin explore -- SC2-CF2 --replicates 8 --threads 4
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use hbo_bench::harness;
 use hbo_core::{Baseline, HboConfig, WarmCache};
 use marsim::experiment::{compare_baselines, run_hbo, run_hbo_traced, run_hbo_warm};
-use marsim::runner::{self, SweepJob};
+use marsim::runner::{self, ObserveConfig, SweepJob};
 use marsim::ScenarioSpec;
+use simcore::metrics::with_observers;
 use simcore::rng::mix;
-use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceJob, Tracer};
+use simcore::trace::{chrome_trace_json, TraceJob};
 
 struct Args {
     scenario: String,
@@ -61,6 +59,8 @@ struct Args {
     replicates: usize,
     threads: Option<usize>,
     trace: Option<String>,
+    metrics: Option<String>,
+    trace_sample: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
         replicates: 1,
         threads: None,
         trace: None,
+        metrics: None,
+        trace_sample: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -128,6 +130,14 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--metrics" => args.metrics = Some(value(&mut i)?),
+            "--trace-sample" => {
+                args.trace_sample = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("trace-sample: {e}"))?,
+                )
+            }
             "--help" | "-h" => return Err("help".to_owned()),
             other if !other.starts_with('-') => args.scenario = other.to_owned(),
             other => return Err(format!("unknown flag {other}")),
@@ -142,7 +152,8 @@ fn usage() -> ! {
         "usage: explore [SC1-CF1|SC2-CF1|SC1-CF2|SC2-CF2] [--seed N] [--weight W]\n\
          \x20              [--iterations K] [--initial M] [--device pixel7|s22]\n\
          \x20              [--distance D] [--baselines] [--warm] [--replicates R]\n\
-         \x20              [--threads T] [--trace PATH]"
+         \x20              [--threads T] [--trace PATH] [--metrics PATH]\n\
+         \x20              [--trace-sample K]"
     );
     std::process::exit(2);
 }
@@ -170,6 +181,14 @@ fn write_trace(path: &str, json: &str) {
         std::process::exit(1);
     }
     eprintln!("trace written to {path}");
+}
+
+fn write_metrics(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("error: cannot write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("metrics written to {path}");
 }
 
 fn main() {
@@ -263,8 +282,12 @@ fn main() {
         let jobs: Vec<SweepJob> = (0..args.replicates)
             .map(|r| SweepJob::derived(format!("rep{}", r + 1), spec.clone(), config.clone()))
             .collect();
-        let sweep =
-            runner::run_sweep_traced("explore", jobs, args.seed, threads, args.trace.is_some());
+        let observe = ObserveConfig {
+            traced: args.trace.is_some(),
+            trace_sample: args.trace_sample,
+            metrics: args.metrics.is_some(),
+        };
+        let sweep = runner::run_sweep_observed("explore", jobs, args.seed, threads, observe);
         for o in &sweep.outcomes {
             print!("{} (seed {:>20}) ", o.label, o.seed);
             print_best(&o.run);
@@ -283,23 +306,32 @@ fn main() {
         }
         harness::emit_runner_report(&sweep.report);
         if let Some(path) = &args.trace {
-            let json = sweep.trace_json().expect("traced sweep has buffers");
-            write_trace(path, &json);
+            match sweep.trace_json() {
+                Some(json) => write_trace(path, &json),
+                // --trace-sample 0 keeps detail for no replicate at all.
+                None => eprintln!("trace {path} skipped: no replicate sampled"),
+            }
+        }
+        if let Some(path) = &args.metrics {
+            let text = sweep.metrics_text().expect("metrics collected");
+            write_metrics(path, &text);
         }
     } else {
-        let run = if let Some(path) = &args.trace {
-            let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
-            let run = run_hbo_traced(
-                &spec,
-                &config,
-                args.seed,
-                Tracer::with_sink(Rc::clone(&sink)),
-            );
-            let job = TraceJob {
-                name: spec.name.clone(),
-                buffer: sink.borrow().snapshot(),
-            };
-            write_trace(path, &chrome_trace_json(&[job]));
+        let run = if args.trace.is_some() || args.metrics.is_some() {
+            let (run, trace, metrics) =
+                with_observers(args.trace.is_some(), args.metrics.is_some(), |tracer| {
+                    run_hbo_traced(&spec, &config, args.seed, tracer)
+                });
+            if let (Some(path), Some(buffer)) = (&args.trace, trace) {
+                let job = TraceJob {
+                    name: spec.name.clone(),
+                    buffer,
+                };
+                write_trace(path, &chrome_trace_json(&[job]));
+            }
+            if let (Some(path), Some(m)) = (&args.metrics, metrics) {
+                write_metrics(path, &m.render_prometheus());
+            }
             run
         } else {
             run_hbo(&spec, &config, args.seed)

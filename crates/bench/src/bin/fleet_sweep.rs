@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! fleet_sweep [--smoke] [--warm] [--seed N] [--threads T] [--trace PATH]
+//!             [--metrics PATH] [--trace-sample K]
 //! ```
 //!
 //! Emits one JSON line per `(fleet size, policy)` cell — cluster-level
@@ -28,10 +29,13 @@
 //! With `--trace PATH` every cell's cluster records per-server queue
 //! depth and busy-lane counters (one Chrome `pid` per cell, in cell
 //! order), written to `PATH` as Chrome trace-event JSON; the emitted
-//! rows stay byte-identical.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//! rows stay byte-identical. `--trace-sample K` keeps full Chrome
+//! detail for only the `K` cells whose seed-derived hashes are smallest
+//! (deterministic across reruns and thread counts). With `--metrics
+//! PATH` every cell — sampled or not — streams its spans and counters
+//! into a bounded [`simcore::metrics::AggregatingSink`]; the per-cell
+//! buffers merge in cell order and the Prometheus-style text exposition
+//! is written to `PATH`, byte-identical for any `--threads` setting.
 
 use edgelink::RoutePolicy;
 use hbo_bench::harness;
@@ -39,9 +43,10 @@ use hbo_core::WarmCache;
 use marsim::fleet::{run_class_plan, run_fleet_cell_traced, FleetSpec};
 use marsim::runner::{self, job_seed, MetricSummary};
 use marsim::TelemetrySummary;
+use simcore::metrics::{head_sample, with_observers, MetricsBuffer};
 use simcore::rng::mix;
 use simcore::stats::Running;
-use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceBuffer, TraceJob, Tracer};
+use simcore::trace::{chrome_trace_json, TraceBuffer, TraceJob, Tracer};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +63,16 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| argv.get(i + 1))
         .cloned();
+    let metrics_path: Option<String> = argv
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let trace_sample: Option<usize> = argv
+        .iter()
+        .position(|a| a == "--trace-sample")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok());
     let threads = runner::threads_from_args();
 
     // Fixed cluster, growing fleet: the sweep walks one deployment from
@@ -97,28 +112,34 @@ fn main() {
         .flat_map(|&n| RoutePolicy::ALL.iter().map(move |&p| (n, p)))
         .collect();
     let traced = trace_path.is_some();
+    let want_metrics = metrics_path.is_some();
+    let cell_seeds: Vec<u64> = (0..cells.len()).map(|i| job_seed(seed, i as u64)).collect();
+    // Which cells keep full Chrome detail: all of them without
+    // --trace-sample, otherwise the K with the smallest seed-derived
+    // hashes — a pure function of (--seed, cell seeds), so the same
+    // cells on every rerun and every --threads value.
+    let sampled: Vec<bool> = match (traced, trace_sample) {
+        (true, Some(k)) => head_sample(seed, &cell_seeds, k),
+        (true, None) => vec![true; cells.len()],
+        (false, _) => vec![false; cells.len()],
+    };
     let (outcomes, mut report) =
         runner::run_map("fleet_sweep", threads, &cells, |i, &(fleet, policy)| {
             let spec = FleetSpec::mar_default(fleet).with_horizon(horizon);
-            let cell_seed = job_seed(seed, i as u64);
-            if traced {
-                let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
-                let r = run_fleet_cell_traced(
-                    &spec,
-                    policy,
-                    cell_seed,
-                    Tracer::with_sink(Rc::clone(&sink)),
-                );
-                let buffer = sink.borrow().snapshot();
-                (r, Some(buffer))
+            let cell_seed = cell_seeds[i];
+            if sampled[i] || want_metrics {
+                with_observers(sampled[i], want_metrics, |tracer| {
+                    run_fleet_cell_traced(&spec, policy, cell_seed, tracer)
+                })
             } else {
                 (
                     run_fleet_cell_traced(&spec, policy, cell_seed, Tracer::disabled()),
                     None,
+                    None,
                 )
             }
         });
-    for (r, _) in &outcomes {
+    for (r, _, _) in &outcomes {
         println!("{}", r.row);
     }
     // Merge per-cell telemetry and metrics in cell order (deterministic
@@ -126,7 +147,7 @@ fn main() {
     let mut telemetry = plan_telemetry;
     let mut completed = Running::new();
     let mut mean_ms = Running::new();
-    for (r, _) in &outcomes {
+    for (r, _, _) in &outcomes {
         telemetry.merge(&r.telemetry);
         completed.record(r.completed as f64);
         if let Some(m) = r.mean_ms {
@@ -151,7 +172,7 @@ fn main() {
         let jobs: Vec<TraceJob> = outcomes
             .iter()
             .zip(&cells)
-            .filter_map(|((_, trace), &(fleet, policy))| {
+            .filter_map(|((_, trace, _), &(fleet, policy))| {
                 trace.as_ref().map(|buffer: &TraceBuffer| TraceJob {
                     name: format!("fleet{fleet} {}", policy.name()),
                     buffer: buffer.clone(),
@@ -163,5 +184,21 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("trace written to {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        // Per-cell aggregates merge in cell order, so the exposition is
+        // byte-identical for any --threads setting and any queue kind.
+        let mut merged = MetricsBuffer::default();
+        for (_, _, metrics) in &outcomes {
+            if let Some(m) = metrics {
+                merged.merge(m);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, merged.render_prometheus()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
     }
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! stadium_sweep [--smoke] [--seed N] [--threads T] [--trace PATH]
+//!               [--metrics PATH] [--trace-sample K]
 //! ```
 //!
 //! Emits one `stadium_sweep` JSON line per cell population — HBO's final
@@ -18,9 +19,12 @@
 //! mobility cell's cluster record span/counter traces (per-cell radio
 //! utilization and active-flow counters among them), written to `PATH`
 //! as Chrome trace-event JSON; the emitted rows stay byte-identical.
-
-use std::cell::RefCell;
-use std::rc::Rc;
+//! `--trace-sample K` keeps full Chrome detail for only the `K` cells
+//! (population cells plus the mobility cell) with the smallest
+//! seed-derived hashes; `--metrics PATH` streams every cell's spans and
+//! counters into a bounded aggregator and writes the merged
+//! Prometheus-style exposition, byte-identical for any `--threads`
+//! setting.
 
 use edgelink::SharedCell;
 use hbo_bench::harness;
@@ -29,7 +33,8 @@ use marsim::edge::stadium_cell_traced;
 use marsim::fleet::{run_mobility_cell_traced, FleetSpec};
 use marsim::runner::{self, job_seed};
 use marsim::{ScenarioSpec, TelemetrySummary};
-use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceBuffer, TraceJob, Tracer};
+use simcore::metrics::{head_sample, with_observers, MetricsBuffer};
+use simcore::trace::{chrome_trace_json, TraceBuffer, TraceJob, Tracer};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +50,16 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| argv.get(i + 1))
         .cloned();
+    let metrics_path: Option<String> = argv
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| argv.get(i + 1))
+        .cloned();
+    let trace_sample: Option<usize> = argv
+        .iter()
+        .position(|a| a == "--trace-sample")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok());
     let threads = runner::threads_from_args();
 
     // SC1-CF2 keeps the taskset small enough for a full activation per
@@ -64,22 +79,34 @@ fn main() {
     };
 
     let traced = trace_path.is_some();
-    type CellOutcome = (String, TelemetrySummary, Option<TraceBuffer>);
+    let want_metrics = metrics_path.is_some();
+    // Head-sampling covers every cell of the sweep — the population
+    // cells plus the trailing mobility cell — as one seed sequence, so
+    // the same K cells keep Chrome detail on every rerun and thread
+    // count.
+    let cell_seeds: Vec<u64> = (0..=populations.len())
+        .map(|i| job_seed(seed, i as u64))
+        .collect();
+    let sampled: Vec<bool> = match (traced, trace_sample) {
+        (true, Some(k)) => head_sample(seed, &cell_seeds, k),
+        (true, None) => vec![true; cell_seeds.len()],
+        (false, _) => vec![false; cell_seeds.len()],
+    };
+    type CellOutcome = (
+        String,
+        TelemetrySummary,
+        Option<TraceBuffer>,
+        Option<MetricsBuffer>,
+    );
     let (outcomes, mut report): (Vec<CellOutcome>, _) =
         runner::run_map("stadium_sweep", threads, &populations, |i, &clients| {
-            let cell_seed = job_seed(seed, i as u64);
-            if traced {
-                let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
-                let (row, telemetry) = stadium_cell_traced(
-                    &base,
-                    cell,
-                    clients,
-                    &config,
-                    cell_seed,
-                    Tracer::with_sink(Rc::clone(&sink)),
-                );
-                let buffer = sink.borrow().snapshot();
-                (row, telemetry, Some(buffer))
+            let cell_seed = cell_seeds[i];
+            if sampled[i] || want_metrics {
+                let ((row, telemetry), trace, metrics) =
+                    with_observers(sampled[i], want_metrics, |tracer| {
+                        stadium_cell_traced(&base, cell, clients, &config, cell_seed, tracer)
+                    });
+                (row, telemetry, trace, metrics)
             } else {
                 let (row, telemetry) = stadium_cell_traced(
                     &base,
@@ -89,10 +116,10 @@ fn main() {
                     cell_seed,
                     Tracer::disabled(),
                 );
-                (row, telemetry, None)
+                (row, telemetry, None, None)
             }
         });
-    for (row, _, _) in &outcomes {
+    for (row, _, _, _) in &outcomes {
         println!("{row}");
     }
 
@@ -100,16 +127,16 @@ fn main() {
     // cells (one job; identical for any --threads setting). Its seed
     // continues the same job-seed sequence.
     let fleet = FleetSpec::mar_default(8).with_horizon(if smoke { 4.0 } else { 30.0 });
-    let mobility_seed = job_seed(seed, populations.len() as u64);
-    let (mobility, mobility_trace) = if traced {
-        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
-        let r =
-            run_mobility_cell_traced(&fleet, mobility_seed, Tracer::with_sink(Rc::clone(&sink)));
-        let buffer = sink.borrow().snapshot();
-        (r, Some(buffer))
+    let mobility_seed = cell_seeds[populations.len()];
+    let mobility_sampled = sampled[populations.len()];
+    let (mobility, mobility_trace, mobility_metrics) = if mobility_sampled || want_metrics {
+        with_observers(mobility_sampled, want_metrics, |tracer| {
+            run_mobility_cell_traced(&fleet, mobility_seed, tracer)
+        })
     } else {
         (
             run_mobility_cell_traced(&fleet, mobility_seed, Tracer::disabled()),
+            None,
             None,
         )
     };
@@ -118,7 +145,7 @@ fn main() {
     // Merge per-cell telemetry totals in cell order (deterministic for
     // any thread count) into the runner report.
     let mut telemetry = TelemetrySummary::default();
-    for (_, t, _) in &outcomes {
+    for (_, t, _, _) in &outcomes {
         telemetry.merge(t);
     }
     telemetry.merge(&mobility.telemetry);
@@ -129,7 +156,7 @@ fn main() {
         let mut jobs: Vec<TraceJob> = outcomes
             .iter()
             .zip(&populations)
-            .filter_map(|((_, _, trace), &clients)| {
+            .filter_map(|((_, _, trace, _), &clients)| {
                 trace.as_ref().map(|buffer| TraceJob {
                     name: format!("stadium c{clients}"),
                     buffer: buffer.clone(),
@@ -147,5 +174,24 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("trace written to {path}");
+    }
+
+    if let Some(path) = metrics_path {
+        // Cell order, mobility last — the same merge order for any
+        // --threads setting, so the exposition is byte-identical.
+        let mut merged = MetricsBuffer::default();
+        for (_, _, _, metrics) in &outcomes {
+            if let Some(m) = metrics {
+                merged.merge(m);
+            }
+        }
+        if let Some(m) = &mobility_metrics {
+            merged.merge(m);
+        }
+        if let Err(e) = std::fs::write(&path, merged.render_prometheus()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
     }
 }

@@ -398,7 +398,14 @@ struct ClusterState {
     /// Per-cell track for utilization and active-flow counters (shared
     /// mode only).
     trace_cells: Vec<TrackId>,
+    /// Track carrying the cluster's memory-accounting counters.
+    trace_mem: TrackId,
 }
+
+/// Approximate bytes of one queued admission entry: the routed job key
+/// plus the service-time payload the FIFO lane holds for it.
+const QUEUE_ENTRY_BYTES: usize =
+    std::mem::size_of::<(usize, u64)>() + std::mem::size_of::<SimDuration>();
 
 /// The fleet-scale cluster simulator.
 pub struct ClusterSim {
@@ -492,6 +499,7 @@ impl ClusterSim {
                     .collect()
             })
             .unwrap_or_default();
+        let trace_mem = tracer.register_track("edgelink", "mem");
         for (session, st) in states.iter().enumerate() {
             let at = start
                 + SimDuration::from_secs_f64(st.spec.arrive_secs)
@@ -512,6 +520,7 @@ impl ClusterSim {
                 tracer,
                 trace_servers,
                 trace_cells,
+                trace_mem,
             },
         }
     }
@@ -530,6 +539,50 @@ impl ClusterSim {
     pub fn run_until(&mut self, deadline: SimTime) {
         let ClusterSim { sim, state } = self;
         sim.run_until(deadline, |sched, ev| state.handle(sched, ev));
+        self.emit_memory_counters();
+    }
+
+    /// Reports the cluster's memory footprint as counter samples on the
+    /// `mem` track, making PR 9's "208 B per session" claim a
+    /// continuously-measured number. No-op when tracing is disabled, so
+    /// untraced runs stay bit-identical.
+    fn emit_memory_counters(&self) {
+        let state = &self.state;
+        if !state.tracer.is_enabled() {
+            return;
+        }
+        let now = self.sim.now();
+        let track = state.trace_mem;
+        state.tracer.counter(
+            now,
+            track,
+            "edgelink",
+            "mem session bytes",
+            (state.sessions.len() * std::mem::size_of::<SessState>()) as f64,
+        );
+        state.tracer.counter(
+            now,
+            track,
+            "edgelink",
+            "mem peak queue bytes",
+            (state.peak_queue * QUEUE_ENTRY_BYTES) as f64,
+        );
+        if let Some(m) = &state.medium {
+            state.tracer.counter(
+                now,
+                track,
+                "edgelink",
+                "mem medium bytes",
+                m.footprint_bytes() as f64,
+            );
+            state.tracer.counter(
+                now,
+                track,
+                "edgelink",
+                "medium reallocs",
+                m.reallocs() as f64,
+            );
+        }
     }
 
     /// Advances the simulation by `secs` simulated seconds.
@@ -597,6 +650,12 @@ impl ClusterSim {
     /// Total mid-session handovers (always 0 with private radios).
     pub fn handovers(&self) -> u64 {
         self.state.medium.as_ref().map_or(0, |m| m.handovers())
+    }
+
+    /// Total shared-medium allocation re-solves (always 0 with private
+    /// radios).
+    pub fn medium_reallocs(&self) -> u64 {
+        self.state.medium.as_ref().map_or(0, |m| m.reallocs())
     }
 
     /// The shared medium, when the sessions run on one.

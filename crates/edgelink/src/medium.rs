@@ -438,6 +438,7 @@ pub struct Medium<K: Copy> {
     offered_bytes: f64,
     delivered_bytes: f64,
     handovers: u64,
+    reallocs: u64,
 }
 
 fn dir_idx(dir: Direction) -> usize {
@@ -471,6 +472,7 @@ impl<K: Copy> Medium<K> {
             offered_bytes: 0.0,
             delivered_bytes: 0.0,
             handovers: 0,
+            reallocs: 0,
         }
     }
 
@@ -716,6 +718,7 @@ impl<K: Copy> Medium<K> {
         }
         self.resolved_at = now;
         self.wake_gen += 1;
+        self.reallocs += 1;
     }
 
     // ---- observability ----------------------------------------------------
@@ -744,6 +747,32 @@ impl<K: Copy> Medium<K> {
     /// Total handovers across all clients.
     pub fn handovers(&self) -> u64 {
         self.handovers
+    }
+
+    /// Number of allocation re-solves performed — every flow arrival,
+    /// completion, handover, or cross-traffic flip that forced the
+    /// water-filling pass to rerun. The control-plane cost driver of the
+    /// shared medium, exposed so sweeps can report it per cell.
+    pub fn reallocs(&self) -> u64 {
+        self.reallocs
+    }
+
+    /// Bytes of backing storage currently held by the medium's dynamic
+    /// state (client table, flow slab, free list, per-cell active
+    /// lists), at reserved vector capacities.
+    pub fn footprint_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.clients.capacity() * size_of::<ClientState>()
+            + self.flows.capacity() * size_of::<Option<FlowState<K>>>()
+            + self.free.capacity() * size_of::<usize>()
+            + self
+                .active
+                .iter()
+                .map(|lanes| {
+                    size_of::<[Vec<usize>; 2]>()
+                        + (lanes[0].capacity() + lanes[1].capacity()) * size_of::<usize>()
+                })
+                .sum::<usize>()
     }
 
     /// The serving cell of `client`.

@@ -230,6 +230,8 @@ struct EdgeTraceIds {
     /// Track carrying the shared cell's utilization and active-flow
     /// counters (shared mode only).
     cell_track: TrackId,
+    /// Track carrying the world's memory-accounting counters.
+    mem_track: TrackId,
 }
 
 /// The whole edge world state (everything but the event queue).
@@ -413,6 +415,7 @@ impl EdgeSim {
         if medium.is_some() {
             trace.cell_track = tracer.register_track("edgelink", "cell");
         }
+        trace.mem_track = tracer.register_track("edgelink", "mem");
         for (client, st) in states.iter().enumerate() {
             let jitter = jitter_ns(master_seed, client, 0, st.spec.jitter_ms);
             sim.schedule(
@@ -449,6 +452,67 @@ impl EdgeSim {
     pub fn run_until(&mut self, deadline: SimTime) {
         let EdgeSim { sim, state } = self;
         sim.run_until(deadline, |sched, ev| state.handle(sched, ev));
+        self.emit_memory_counters();
+    }
+
+    /// Reports the world's memory footprint as counter samples on the
+    /// `mem` track: per-client state (including each client's in-flight
+    /// arena at its reserved capacity), the peak in-flight count across
+    /// all arenas, queue bytes at peak depth, and the shared medium's
+    /// footprint. No-op when tracing is disabled, so untraced runs stay
+    /// bit-identical.
+    fn emit_memory_counters(&self) {
+        use std::mem::size_of;
+        let state = &self.state;
+        if !state.tracer.is_enabled() {
+            return;
+        }
+        let now = self.sim.now();
+        let track = state.trace.mem_track;
+        let client_bytes = state.clients.len() * size_of::<ClientState>()
+            + state
+                .clients
+                .iter()
+                .map(|c| c.submitted.footprint_bytes())
+                .sum::<usize>();
+        state.tracer.counter(
+            now,
+            track,
+            "edgelink",
+            "mem client bytes",
+            client_bytes as f64,
+        );
+        let peak_in_flight: usize = state.clients.iter().map(|c| c.submitted.peak_live()).sum();
+        state.tracer.counter(
+            now,
+            track,
+            "edgelink",
+            "mem peak in flight",
+            peak_in_flight as f64,
+        );
+        state.tracer.counter(
+            now,
+            track,
+            "edgelink",
+            "mem peak queue bytes",
+            (state.peak_queue * (size_of::<ReqKey>() + size_of::<SimDuration>())) as f64,
+        );
+        if let Some(m) = &state.medium {
+            state.tracer.counter(
+                now,
+                track,
+                "edgelink",
+                "mem medium bytes",
+                m.footprint_bytes() as f64,
+            );
+            state.tracer.counter(
+                now,
+                track,
+                "edgelink",
+                "medium reallocs",
+                m.reallocs() as f64,
+            );
+        }
     }
 
     /// Advances the simulation by `secs` simulated seconds.
@@ -513,6 +577,12 @@ impl EdgeSim {
     /// Total mid-session handovers (always 0 with private radios).
     pub fn handovers(&self) -> u64 {
         self.state.medium.as_ref().map_or(0, |m| m.handovers())
+    }
+
+    /// Total shared-medium allocation re-solves (always 0 with private
+    /// radios).
+    pub fn medium_reallocs(&self) -> u64 {
+        self.state.medium.as_ref().map_or(0, |m| m.reallocs())
     }
 
     /// The shared medium, when the clients run on one.
@@ -1071,8 +1141,9 @@ mod tests {
         );
         sim.run_for_secs(5.0);
         let buf = sink.borrow().snapshot();
-        // Tracks: per client up/down, per lane, plus the admission track.
-        assert_eq!(buf.tracks.len(), 2 * 2 + 2 + 1);
+        // Tracks: per client up/down, per lane, plus the admission and
+        // memory-accounting tracks.
+        assert_eq!(buf.tracks.len(), 2 * 2 + 2 + 1 + 1);
         let begins = buf
             .records
             .iter()

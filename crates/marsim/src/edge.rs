@@ -205,6 +205,8 @@ pub struct EdgeWorld {
     /// window runs a fresh [`EdgeSim`] which is dropped afterwards).
     cum_rejected: u64,
     cum_retransmits: u64,
+    cum_handovers: u64,
+    cum_medium_reallocs: u64,
     edge_peak_queue: usize,
     /// Future-event-list kind for every per-window [`EdgeSim`], inherited
     /// from the scenario so the device and edge sims always agree.
@@ -258,6 +260,8 @@ impl EdgeWorld {
             tracer,
             cum_rejected: 0,
             cum_retransmits: 0,
+            cum_handovers: 0,
+            cum_medium_reallocs: 0,
             edge_peak_queue: 0,
             queue: spec.queue,
         }
@@ -399,6 +403,8 @@ impl EdgeWorld {
             let (_, rejected, _) = esim.server_counters();
             self.cum_rejected += rejected;
             self.cum_retransmits += esim.total_retransmits();
+            self.cum_handovers += esim.handovers();
+            self.cum_medium_reallocs += esim.medium_reallocs();
             self.edge_peak_queue = self.edge_peak_queue.max(esim.peak_queue());
             edge_stats = Some(EdgeStats {
                 p95_ms: percentile(&pooled, 0.95),
@@ -431,6 +437,8 @@ impl EdgeWorld {
             edge_rejected: self.cum_rejected,
             edge_retransmits: self.cum_retransmits,
             edge_peak_queue: self.edge_peak_queue,
+            cluster_handovers: self.cum_handovers,
+            medium_reallocs: self.cum_medium_reallocs,
             ..self.app.telemetry()
         }
     }

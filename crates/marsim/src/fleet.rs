@@ -400,6 +400,9 @@ pub fn run_fleet_cell_traced(
         edge_rejected: m.reject_events,
         edge_retransmits: m.retransmits,
         edge_peak_queue: sim.peak_queue(),
+        cluster_dropped: m.dropped,
+        cluster_handovers: sim.handovers(),
+        medium_reallocs: sim.medium_reallocs(),
         ..TelemetrySummary::default()
     };
     FleetCellResult {
@@ -465,6 +468,9 @@ pub fn run_mobility_cell_traced(spec: &FleetSpec, seed: u64, tracer: Tracer) -> 
         edge_rejected: m.reject_events,
         edge_retransmits: m.retransmits,
         edge_peak_queue: sim.peak_queue(),
+        cluster_dropped: m.dropped,
+        cluster_handovers: sim.handovers(),
+        medium_reallocs: sim.medium_reallocs(),
         ..TelemetrySummary::default()
     };
     FleetCellResult {

@@ -25,14 +25,13 @@
 //! emitted through `hbo_bench::harness`) so wall time and merged metrics
 //! are machine-diffable across PRs.
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::time::Instant;
 
 use hbo_core::HboConfig;
+use simcore::metrics::{head_sample, with_observers, MetricsBuffer};
 use simcore::pool;
 use simcore::stats::Running;
-use simcore::trace::{chrome_trace_json, ChromeTraceSink, TraceBuffer, TraceJob, Tracer};
+use simcore::trace::{chrome_trace_json, TraceBuffer, TraceJob};
 
 use crate::experiment::{run_hbo, run_hbo_traced, HboRunResult};
 use crate::scenario::ScenarioSpec;
@@ -121,8 +120,39 @@ pub struct SweepOutcome {
     /// The full activation result.
     pub run: HboRunResult,
     /// The job's trace buffer, when the sweep ran with tracing enabled
-    /// ([`run_sweep_traced`]).
+    /// ([`run_sweep_traced`]) and this job was head-sampled (or sampling
+    /// was off).
     pub trace: Option<TraceBuffer>,
+    /// The job's aggregated metrics, when the sweep ran with metrics
+    /// collection enabled ([`run_sweep_observed`]).
+    pub metrics: Option<MetricsBuffer>,
+}
+
+/// What a sweep observes while it runs: Chrome tracing, deterministic
+/// head-sampling of that tracing, and streaming metric aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveConfig {
+    /// Attach a per-job Chrome trace sink (subject to `trace_sample`).
+    pub traced: bool,
+    /// When `Some(k)` and `traced`, only the `k` jobs whose mixed
+    /// `(master_seed, job_seed)` hashes are smallest keep full Chrome
+    /// detail ([`simcore::metrics::head_sample`]); every job still feeds
+    /// the aggregator. `None` traces every job.
+    pub trace_sample: Option<usize>,
+    /// Attach a per-job [`simcore::metrics::AggregatingSink`] and return
+    /// its [`MetricsBuffer`] for job-index-order merging.
+    pub metrics: bool,
+}
+
+impl ObserveConfig {
+    /// Tracing on or off, no sampling, no metrics — the historical
+    /// [`run_sweep_traced`] behaviour.
+    pub fn traced(traced: bool) -> Self {
+        ObserveConfig {
+            traced,
+            ..ObserveConfig::default()
+        }
+    }
 }
 
 /// A merged metric: a name plus its [`Running`] accumulator.
@@ -229,6 +259,28 @@ impl SweepResult {
             .collect();
         Some(chrome_trace_json(&jobs))
     }
+
+    /// Merges the per-job [`MetricsBuffer`]s in job-index order and
+    /// renders the deterministic Prometheus-style text exposition. `None`
+    /// when the sweep ran without metrics collection.
+    pub fn metrics_text(&self) -> Option<String> {
+        self.merged_metrics().map(|m| m.render_prometheus())
+    }
+
+    /// Merges the per-job [`MetricsBuffer`]s in job-index order. `None`
+    /// when the sweep ran without metrics collection.
+    pub fn merged_metrics(&self) -> Option<MetricsBuffer> {
+        let mut merged: Option<MetricsBuffer> = None;
+        for o in &self.outcomes {
+            if let Some(m) = &o.metrics {
+                match &mut merged {
+                    Some(acc) => acc.merge(m),
+                    None => merged = Some(m.clone()),
+                }
+            }
+        }
+        merged
+    }
 }
 
 /// Runs a flat HBO-activation job list on `threads` workers.
@@ -262,21 +314,51 @@ pub fn run_sweep_traced(
     threads: usize,
     traced: bool,
 ) -> SweepResult {
+    run_sweep_observed(
+        label,
+        jobs,
+        master_seed,
+        threads,
+        ObserveConfig::traced(traced),
+    )
+}
+
+/// [`run_sweep`] with the full observability surface: optional Chrome
+/// tracing with deterministic seed-derived head-sampling, and optional
+/// streaming metric aggregation ([`simcore::metrics::AggregatingSink`]).
+///
+/// Sampling decisions depend only on `(master_seed, per-job seed)`, so
+/// the same `k` jobs keep full Chrome detail on every rerun and every
+/// `--threads` value. Sinks are per-worker-job (nothing shared across
+/// threads) and observation never perturbs the simulations, so every
+/// metric — the merged trace and the merged metrics text included — is
+/// bit-identical across thread counts and to an unobserved run.
+pub fn run_sweep_observed(
+    label: impl Into<String>,
+    jobs: Vec<SweepJob>,
+    master_seed: u64,
+    threads: usize,
+    observe: ObserveConfig,
+) -> SweepResult {
     let start = Instant::now();
+    let seeds: Vec<u64> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| job.seed.unwrap_or_else(|| job_seed(master_seed, i as u64)))
+        .collect();
+    let sampled: Vec<bool> = match (observe.traced, observe.trace_sample) {
+        (true, Some(k)) => head_sample(master_seed, &seeds, k),
+        (true, None) => vec![true; jobs.len()],
+        (false, _) => vec![false; jobs.len()],
+    };
     let outcomes: Vec<SweepOutcome> = pool::map(threads, &jobs, |i, job| {
-        let seed = job.seed.unwrap_or_else(|| job_seed(master_seed, i as u64));
-        let (run, trace) = if traced {
-            let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
-            let run = run_hbo_traced(
-                &job.scenario,
-                &job.config,
-                seed,
-                Tracer::with_sink(Rc::clone(&sink)),
-            );
-            let buffer = sink.borrow().snapshot();
-            (run, Some(buffer))
+        let seed = seeds[i];
+        let (run, trace, metrics) = if sampled[i] || observe.metrics {
+            with_observers(sampled[i], observe.metrics, |tracer| {
+                run_hbo_traced(&job.scenario, &job.config, seed, tracer)
+            })
         } else {
-            (run_hbo(&job.scenario, &job.config, seed), None)
+            (run_hbo(&job.scenario, &job.config, seed), None, None)
         };
         SweepOutcome {
             job_index: i,
@@ -284,6 +366,7 @@ pub fn run_sweep_traced(
             seed,
             run,
             trace,
+            metrics,
         }
     });
     let wall_secs = start.elapsed().as_secs_f64();
@@ -488,6 +571,53 @@ mod tests {
         assert!(line.starts_with("{\"runner\":\"json\",\"jobs\":4,\"threads\":2,"));
         assert!(line.contains("\"best_cost\":{\"count\":4,"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn observed_sweep_is_bit_identical_across_threads_and_to_unobserved() {
+        let observe = ObserveConfig {
+            traced: true,
+            trace_sample: Some(2),
+            metrics: true,
+        };
+        let serial = run_sweep_observed("obs", demo_jobs(), 42, 1, observe.clone());
+        let parallel = run_sweep_observed("obs", demo_jobs(), 42, 4, observe);
+        let plain = run_sweep("obs", demo_jobs(), 42, 1);
+
+        // Exactly k jobs keep Chrome detail; the same jobs either way.
+        let traced_jobs = |r: &SweepResult| -> Vec<usize> {
+            r.outcomes
+                .iter()
+                .filter(|o| o.trace.is_some())
+                .map(|o| o.job_index)
+                .collect()
+        };
+        assert_eq!(traced_jobs(&serial).len(), 2);
+        assert_eq!(traced_jobs(&serial), traced_jobs(&parallel));
+
+        // Every job feeds the aggregator, and the merged exposition is
+        // byte-identical across thread counts.
+        assert!(serial.outcomes.iter().all(|o| o.metrics.is_some()));
+        let text = serial.metrics_text().expect("metrics collected");
+        assert_eq!(Some(text.clone()), parallel.metrics_text());
+        assert!(text.contains("# TYPE mar_span_count counter"));
+
+        // Observation never perturbs the simulations.
+        for (a, b) in serial.outcomes.iter().zip(&plain.outcomes) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.run.best.cost, b.run.best.cost);
+            assert_eq!(a.run.best_cost_trace, b.run.best_cost_trace);
+        }
+        assert_eq!(serial.report.metrics, plain.report.metrics);
+    }
+
+    #[test]
+    fn untraced_observed_sweep_collects_no_buffers() {
+        let result = run_sweep_observed("off", demo_jobs(), 3, 2, ObserveConfig::default());
+        assert!(result.outcomes.iter().all(|o| o.trace.is_none()));
+        assert!(result.outcomes.iter().all(|o| o.metrics.is_none()));
+        assert!(result.metrics_text().is_none());
+        assert!(result.trace_json().is_none());
     }
 
     #[test]

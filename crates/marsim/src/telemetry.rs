@@ -45,6 +45,15 @@ pub struct TelemetrySummary {
     pub warm_hits: u64,
     /// Warm-start cache misses (sessions that ran cold).
     pub warm_misses: u64,
+    /// Cluster requests dropped after exhausting admission retries —
+    /// the load a saturated fleet shed.
+    pub cluster_dropped: u64,
+    /// Mid-session cell handovers on the shared medium (0 with private
+    /// radios).
+    pub cluster_handovers: u64,
+    /// Shared-medium allocation re-solves (water-filling passes) — the
+    /// radio control-plane cost driver.
+    pub medium_reallocs: u64,
 }
 
 impl TelemetrySummary {
@@ -83,6 +92,9 @@ impl TelemetrySummary {
         self.bo_suggests += other.bo_suggests;
         self.warm_hits += other.warm_hits;
         self.warm_misses += other.warm_misses;
+        self.cluster_dropped += other.cluster_dropped;
+        self.cluster_handovers += other.cluster_handovers;
+        self.medium_reallocs += other.medium_reallocs;
     }
 
     /// Renders the summary as one JSON object (hand-rolled; hermetic
@@ -101,7 +113,8 @@ impl TelemetrySummary {
         out.push_str(&format!(
             "],\"frames_rendered\":{},\"frames_skipped\":{},\"edge_rejected\":{},\
              \"edge_retransmits\":{},\"edge_peak_queue\":{},\"bo_suggests\":{},\
-             \"warm_hits\":{},\"warm_misses\":{},\"max_queue_depth\":{}}}",
+             \"warm_hits\":{},\"warm_misses\":{},\"cluster_dropped\":{},\
+             \"cluster_handovers\":{},\"medium_reallocs\":{},\"max_queue_depth\":{}}}",
             self.frames_rendered,
             self.frames_skipped,
             self.edge_rejected,
@@ -110,6 +123,9 @@ impl TelemetrySummary {
             self.bo_suggests,
             self.warm_hits,
             self.warm_misses,
+            self.cluster_dropped,
+            self.cluster_handovers,
+            self.medium_reallocs,
             self.max_queue_depth()
         ));
         out
@@ -142,6 +158,9 @@ mod tests {
             bo_suggests: 20,
             warm_hits: 1,
             warm_misses: 2,
+            cluster_dropped: 4,
+            cluster_handovers: 6,
+            medium_reallocs: 50,
         }
     }
 
@@ -160,6 +179,9 @@ mod tests {
         assert_eq!(a.bo_suggests, 40);
         assert_eq!(a.warm_hits, 2);
         assert_eq!(a.warm_misses, 4);
+        assert_eq!(a.cluster_dropped, 8);
+        assert_eq!(a.cluster_handovers, 12);
+        assert_eq!(a.medium_reallocs, 100);
         assert_eq!(a.max_queue_depth(), 9);
     }
 
@@ -193,6 +215,27 @@ mod tests {
         assert_eq!(
             parsed.get("warm_hits").and_then(|v| v.as_num()).unwrap(),
             1.0
+        );
+        assert_eq!(
+            parsed
+                .get("cluster_dropped")
+                .and_then(|v| v.as_num())
+                .unwrap(),
+            4.0
+        );
+        assert_eq!(
+            parsed
+                .get("cluster_handovers")
+                .and_then(|v| v.as_num())
+                .unwrap(),
+            6.0
+        );
+        assert_eq!(
+            parsed
+                .get("medium_reallocs")
+                .and_then(|v| v.as_num())
+                .unwrap(),
+            50.0
         );
     }
 }

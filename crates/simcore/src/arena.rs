@@ -58,6 +58,10 @@ pub struct Arena<T> {
     slots: Vec<Option<T>>,
     gens: Vec<u32>,
     free: Vec<u32>,
+    /// High-water mark of concurrently-live values, for memory
+    /// accounting. Monotone: [`Arena::clear`] retires values but the
+    /// peak records what the arena once had to hold.
+    peak_live: usize,
 }
 
 impl<T> Default for Arena<T> {
@@ -73,6 +77,7 @@ impl<T> Arena<T> {
             slots: Vec::new(),
             gens: Vec::new(),
             free: Vec::new(),
+            peak_live: 0,
         }
     }
 
@@ -83,13 +88,14 @@ impl<T> Arena<T> {
             slots: Vec::with_capacity(cap),
             gens: Vec::with_capacity(cap),
             free: Vec::with_capacity(cap),
+            peak_live: 0,
         }
     }
 
     /// Stores `value`, recycling the most recently freed slot if one
     /// exists, and returns its handle.
     pub fn alloc(&mut self, value: T) -> Handle {
-        if let Some(idx) = self.free.pop() {
+        let handle = if let Some(idx) = self.free.pop() {
             let i = idx as usize;
             debug_assert!(self.slots[i].is_none(), "free-listed slot still occupied");
             self.slots[i] = Some(value);
@@ -102,7 +108,9 @@ impl<T> Arena<T> {
             self.slots.push(Some(value));
             self.gens.push(0);
             Handle { idx, gen: 0 }
-        }
+        };
+        self.peak_live = self.peak_live.max(self.live());
+        handle
     }
 
     /// Returns a reference to the value at `h`.
@@ -182,6 +190,33 @@ impl<T> Arena<T> {
     /// liveness.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// High-water mark of concurrently-live values over the arena's
+    /// whole life (unlike [`Arena::capacity`], unaffected by free-list
+    /// bookkeeping and never reset by [`Arena::clear`]).
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Bytes held by currently-live values (`live × size_of::<T>()`).
+    pub fn live_bytes(&self) -> usize {
+        self.live() * std::mem::size_of::<T>()
+    }
+
+    /// Bytes held by the peak number of concurrently-live values.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_live * std::mem::size_of::<T>()
+    }
+
+    /// Bytes of backing storage currently allocated (slot, generation,
+    /// and free-list vectors at their reserved capacities) — the
+    /// arena's actual footprint, as opposed to the bytes its live
+    /// values occupy.
+    pub fn footprint_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<T>>()
+            + self.gens.capacity() * std::mem::size_of::<u32>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Frees every live value, bumping each freed slot's generation so
@@ -298,6 +333,33 @@ mod tests {
         let h = a.alloc(99);
         assert!(h.index() < 10, "cleared slots are recycled, not appended");
         assert_eq!(*a.get(h), 99);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark_across_free_and_clear() {
+        let mut a: Arena<u64> = Arena::new();
+        assert_eq!(a.peak_live(), 0);
+        let hs: Vec<Handle> = (0..8).map(|i| a.alloc(i)).collect();
+        assert_eq!(a.peak_live(), 8);
+        for h in &hs {
+            a.free(*h);
+        }
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.peak_live(), 8, "peak survives frees");
+        a.clear();
+        assert_eq!(a.peak_live(), 8, "peak survives clear");
+        // Refilling below the old peak does not move it; exceeding does.
+        for i in 0..4 {
+            a.alloc(i);
+        }
+        assert_eq!(a.peak_live(), 8);
+        for i in 0..8 {
+            a.alloc(i);
+        }
+        assert_eq!(a.peak_live(), 12);
+        assert_eq!(a.peak_bytes(), 12 * std::mem::size_of::<u64>());
+        assert_eq!(a.live_bytes(), 12 * std::mem::size_of::<u64>());
+        assert!(a.footprint_bytes() >= 12 * std::mem::size_of::<Option<u64>>());
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //! * [`trace`] — deterministic span/counter tracing with Chrome
 //!   trace-event (Perfetto-loadable) export; zero overhead when the
 //!   [`trace::Tracer`] handle is disabled.
+//! * [`metrics`] — bounded streaming aggregation over the trace stream:
+//!   per-span-series duration statistics, fixed-capacity downsampling
+//!   time series for counters, deterministic head-sampling for fleets,
+//!   and a Prometheus-style text exposition.
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@
 pub mod arena;
 mod calendar;
 pub mod check;
+pub mod metrics;
 pub mod pool;
 mod queue;
 pub mod rand;

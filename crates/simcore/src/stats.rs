@@ -303,6 +303,18 @@ impl SlidingWindow {
 pub struct LogHistogram {
     base: f64,
     growth: f64,
+    /// `growth.ln()`, cached once — `record` is a per-event hot path for
+    /// the streaming aggregator, and the quotient must stay bit-identical
+    /// to dividing by a freshly computed `growth.ln()` (so this is a
+    /// cache, never a reciprocal-multiply rewrite).
+    ln_growth: f64,
+    /// Bits of the last recorded value and the bucket it landed in.
+    /// Deterministic simulations repeat exact durations constantly, so
+    /// this memo skips the `ln` on bit-equal samples without any chance
+    /// of a different bucket. NaN bits never match (samples are asserted
+    /// finite), so the initial state can never produce a false hit.
+    memo_bits: u64,
+    memo_idx: usize,
     counts: Vec<u64>,
     total: u64,
     max: f64,
@@ -325,6 +337,9 @@ impl LogHistogram {
         LogHistogram {
             base,
             growth,
+            ln_growth: growth.ln(),
+            memo_bits: f64::NAN.to_bits(),
+            memo_idx: 0,
             counts: vec![0; buckets + 1], // +1 overflow bucket
             total: 0,
             max: f64::NEG_INFINITY,
@@ -334,12 +349,16 @@ impl LogHistogram {
     /// Records one value.
     pub fn record(&mut self, value: f64) {
         assert!(value.is_finite(), "non-finite sample: {value}");
-        let idx = if value < self.base {
+        let idx = if value.to_bits() == self.memo_bits {
+            self.memo_idx
+        } else if value < self.base {
             0
         } else {
-            let i = ((value / self.base).ln() / self.growth.ln()).floor() as usize;
+            let i = ((value / self.base).ln() / self.ln_growth).floor() as usize;
             i.min(self.counts.len() - 1)
         };
+        self.memo_bits = value.to_bits();
+        self.memo_idx = idx;
         self.counts[idx] += 1;
         self.total += 1;
         self.max = self.max.max(value);

@@ -229,6 +229,40 @@ impl TraceSink for ChromeTraceSink {
     }
 }
 
+/// A sink that feeds every registration and event to two child sinks —
+/// the glue that lets one job keep full Chrome-trace detail *and* feed
+/// a bounded aggregator from a single instrumented pass.
+///
+/// Both children must use dense first-seen registration ids (as
+/// [`ChromeTraceSink`] and `metrics::AggregatingSink` do) so the id
+/// returned by the first child is valid for the second; that invariant
+/// is checked in debug builds. [`NullSink`] always answers 0 and is
+/// therefore not a valid tee child.
+#[derive(Debug, Clone, Default)]
+pub struct TeeSink<A: TraceSink, B: TraceSink> {
+    /// First child; its track ids become the tee's ids.
+    pub first: A,
+    /// Second child.
+    pub second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn register_track(&mut self, process: &str, track: &str) -> TrackId {
+        let id = self.first.register_track(process, track);
+        let second = self.second.register_track(process, track);
+        debug_assert_eq!(
+            id, second,
+            "tee children disagree on track id for {process}:{track}"
+        );
+        id
+    }
+
+    fn event(&mut self, record: TraceRecord) {
+        self.second.event(record.clone());
+        self.first.event(record);
+    }
+}
+
 /// Cloneable tracing handle threaded through the simulation stack.
 ///
 /// Disabled by default ([`Tracer::disabled`]); every emit method is a
@@ -801,6 +835,16 @@ pub struct TraceStats {
     pub spans: usize,
     /// Number of counter samples.
     pub counters: usize,
+    /// Number of span begins (`B`).
+    pub begins: usize,
+    /// Number of span ends (`E`).
+    pub ends: usize,
+    /// Number of complete spans (`X`).
+    pub completes: usize,
+    /// Number of instant events (`i`).
+    pub instants: usize,
+    /// Number of metadata events (`M`).
+    pub metadata: usize,
     /// Distinct categories seen on span events, with span counts,
     /// sorted by category name.
     pub span_cats: Vec<(String, usize)>,
@@ -819,8 +863,12 @@ impl TraceStats {
 
 /// Parses and structurally validates a Chrome trace-event JSON file:
 /// top-level object with a `traceEvents` array whose elements are
-/// objects carrying a string `ph`, and (for non-metadata events)
-/// numeric `ts`. Returns per-category span counts.
+/// objects carrying a string `ph`, (for non-metadata events) numeric
+/// `ts`, and (for counter events) an `args` object with a numeric
+/// `value` — the shape [`Tracer::counter`] always emits, so a counter
+/// that lost its payload fails validation instead of rendering as an
+/// empty series. Returns per-phase event counts and per-category span
+/// counts.
 pub fn chrome_trace_stats(text: &str) -> Result<TraceStats, String> {
     let doc = parse_json(text)?;
     let events = doc
@@ -838,6 +886,7 @@ pub fn chrome_trace_stats(text: &str) -> Result<TraceStats, String> {
             .and_then(Json::as_str)
             .ok_or_else(|| format!("event {i}: missing string 'ph'"))?;
         if ph == "M" {
+            stats.metadata += 1;
             continue;
         }
         match ev.get("ts") {
@@ -847,14 +896,31 @@ pub fn chrome_trace_stats(text: &str) -> Result<TraceStats, String> {
         match ph {
             "B" | "E" | "X" => {
                 stats.spans += 1;
+                match ph {
+                    "B" => stats.begins += 1,
+                    "E" => stats.ends += 1,
+                    _ => stats.completes += 1,
+                }
                 let cat = ev.get("cat").and_then(Json::as_str).unwrap_or("");
                 match stats.span_cats.iter_mut().find(|(c, _)| c == cat) {
                     Some((_, n)) => *n += 1,
                     None => stats.span_cats.push((cat.to_string(), 1)),
                 }
             }
-            "C" => stats.counters += 1,
-            "i" => {}
+            "C" => {
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: counter missing 'args'"))?;
+                if !matches!(args, Json::Obj(_)) {
+                    return Err(format!("event {i}: counter 'args' is not an object"));
+                }
+                match args.get("value") {
+                    Some(Json::Num(_)) => {}
+                    _ => return Err(format!("event {i}: counter 'args' missing numeric 'value'")),
+                }
+                stats.counters += 1;
+            }
+            "i" => stats.instants += 1,
             other => return Err(format!("event {i}: unknown phase '{other}'")),
         }
     }
@@ -940,6 +1006,50 @@ mod tests {
             })
             .collect();
         assert!(pids.contains(&1.0) && pids.contains(&2.0));
+    }
+
+    #[test]
+    fn trace_stats_count_phases_and_validate_counter_payloads() {
+        let good = r#"{"traceEvents":[
+            {"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"j"}},
+            {"ph":"B","pid":1,"tid":1,"ts":1.0,"cat":"soc","name":"a","args":{}},
+            {"ph":"E","pid":1,"tid":1,"ts":2.0,"cat":"soc","args":{}},
+            {"ph":"i","pid":1,"tid":1,"ts":2.0,"cat":"bo","name":"s","s":"t","args":{}},
+            {"ph":"C","pid":1,"tid":1,"ts":2.0,"cat":"soc","name":"q","args":{"value":3}}
+        ]}"#;
+        let stats = chrome_trace_stats(good).expect("valid trace");
+        assert_eq!((stats.begins, stats.ends, stats.completes), (1, 1, 0));
+        assert_eq!((stats.counters, stats.instants, stats.metadata), (1, 1, 1));
+        // Counters must carry the numeric payload Tracer::counter emits.
+        let empty_args = r#"{"traceEvents":[{"ph":"C","ts":1.0,"name":"q","args":{}}]}"#;
+        assert!(chrome_trace_stats(empty_args)
+            .unwrap_err()
+            .contains("value"));
+        let null_value =
+            r#"{"traceEvents":[{"ph":"C","ts":1.0,"name":"q","args":{"value":null}}]}"#;
+        assert!(chrome_trace_stats(null_value).is_err());
+        let no_args = r#"{"traceEvents":[{"ph":"C","ts":1.0,"name":"q"}]}"#;
+        assert!(chrome_trace_stats(no_args).unwrap_err().contains("args"));
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_children_with_shared_ids() {
+        let sink = Rc::new(RefCell::new(TeeSink {
+            first: ChromeTraceSink::new(),
+            second: ChromeTraceSink::new(),
+        }));
+        let tracer = Tracer::with_sink(sink.clone());
+        let a = tracer.register_track("soc", "CPU");
+        assert_eq!(tracer.register_track("soc", "CPU"), a);
+        tracer.begin(t(1.0), a, "soc", "job", &[]);
+        tracer.end(t(2.0), a, "soc");
+        let tee = sink.borrow();
+        let (one, two) = (tee.first.snapshot(), tee.second.snapshot());
+        assert_eq!(one.tracks.len(), 1);
+        assert_eq!(two.tracks.len(), 1);
+        assert_eq!(one.records.len(), 2);
+        assert_eq!(two.records.len(), 2);
+        assert_eq!(one.records[0].at_ns, two.records[0].at_ns);
     }
 
     #[test]

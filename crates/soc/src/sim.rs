@@ -242,6 +242,8 @@ struct TraceIds {
     sources: Vec<TrackId>,
     /// Per source: skipped-release counter series name.
     source_counter: Vec<String>,
+    /// The track carrying the memory-accounting counters.
+    mem_track: TrackId,
 }
 
 struct SocState {
@@ -364,6 +366,7 @@ impl SocSim {
                 }
             }
         }
+        self.state.trace.mem_track = self.state.tracer.register_track("soc", "mem");
     }
 
     /// Sets the sample-trace retention policy for all current and future
@@ -484,6 +487,53 @@ impl SocSim {
     pub fn run_until(&mut self, deadline: SimTime) {
         let SocSim { sim, state } = self;
         sim.run_until(deadline, |sched, ev| state.handle(sched, ev));
+        self.emit_memory_counters();
+    }
+
+    /// High-water mark of in-flight source instances across all sources
+    /// (the peak number of live arena slots — what the pooled release
+    /// state actually cost at its worst).
+    pub fn peak_in_flight(&self) -> usize {
+        self.state
+            .sources
+            .iter()
+            .map(|s| s.outstanding.peak_live())
+            .sum()
+    }
+
+    /// Bytes retained by the per-source in-flight arenas: capacity, not
+    /// just live slots, so it reports what the allocator actually holds.
+    pub fn arena_footprint_bytes(&self) -> usize {
+        self.state
+            .sources
+            .iter()
+            .map(|s| s.outstanding.footprint_bytes())
+            .sum()
+    }
+
+    /// Streams the SoC-layer memory-accounting counters onto the `mem`
+    /// track at the current time. Free when tracing is disabled.
+    fn emit_memory_counters(&self) {
+        let state = &self.state;
+        if !state.tracer.is_enabled() {
+            return;
+        }
+        let now = self.sim.now();
+        let track = state.trace.mem_track;
+        state.tracer.counter(
+            now,
+            track,
+            "soc",
+            "mem arena bytes",
+            self.arena_footprint_bytes() as f64,
+        );
+        state.tracer.counter(
+            now,
+            track,
+            "soc",
+            "mem peak in flight",
+            self.peak_in_flight() as f64,
+        );
     }
 
     /// Measurements of a stream.
@@ -1224,6 +1274,37 @@ mod tests {
             .iter()
             .any(|r| r.phase == TracePhase::Complete && r.name == "a"));
         assert!(sim.peak_queue(npu) >= 1);
+    }
+
+    #[test]
+    fn memory_accounting_tracks_in_flight_sources_and_emits_counters() {
+        use simcore::trace::{ChromeTraceSink, TracePhase, Tracer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let (t, _, gpu, _) = topo_cgn();
+        let sink = Rc::new(RefCell::new(ChromeTraceSink::new()));
+        let mut sim = SocSim::new(t);
+        sim.set_tracer(Tracer::with_sink(sink.clone()));
+        // max_outstanding 2 with a slow stage: the arena's high-water
+        // mark must reach the cap, and the footprint must be nonzero.
+        sim.add_source(SourceSpec::new(
+            vec![Stage::compute(gpu, ms(40.0))],
+            ms(16.0),
+            2,
+        ));
+        sim.run_until(secs(1.0));
+        assert_eq!(sim.peak_in_flight(), 2);
+        assert!(sim.arena_footprint_bytes() > 0);
+        let buf = sink.borrow().snapshot();
+        for series in ["mem arena bytes", "mem peak in flight"] {
+            assert!(
+                buf.records
+                    .iter()
+                    .any(|r| r.phase == TracePhase::Counter && r.name == series),
+                "missing '{series}' counter"
+            );
+        }
     }
 
     #[test]

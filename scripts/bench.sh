@@ -57,6 +57,7 @@ if sys.argv[2] == "0":
         "mediumsim_32c_1s_calendar",
         "fleet_256c_1s",
         "fleet_256c_1s_calendar",
+        "fleet_256c_agg_1s",
     )
     for bench in required:
         row = rows.get(bench)
@@ -64,6 +65,16 @@ if sys.argv[2] == "0":
             raise SystemExit(f"missing DES throughput row {bench!r}")
         if "sims_per_wall_sec" not in row:
             raise SystemExit(f"row {bench!r} lacks sims_per_wall_sec")
+    # The observability-overhead rows: all four sink configurations on
+    # the same one-second workload, aggregator included.
+    for bench in (
+        "trace_overhead_disabled_1s",
+        "trace_overhead_null_1s",
+        "trace_overhead_chrome_1s",
+        "trace_overhead_agg_1s",
+    ):
+        if bench not in rows:
+            raise SystemExit(f"missing trace overhead row {bench!r}")
     # The amortized-control-plane rows: pruned and warm-start suggest
     # variants next to the cold bo_suggest_k20 baseline.
     for bench in ("bo_suggest_k20", "bo_suggest_pruned_k20", "bo_suggest_warm_k20"):

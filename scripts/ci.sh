@@ -117,6 +117,34 @@ cargo run --release --offline -q -p hbo-bench --bin check_json -- \
   --require-cat soc --require-cat hbo --require-cat bo
 cmp "$trace_dir/parallel.json" "$trace_dir/serial.json"
 
+# Metrics smoke (ISSUE 10): the fleet sweep with the streaming
+# aggregator and head-sampled tracing on the real binary. The
+# Prometheus-style exposition must be byte-identical across --threads
+# 1/2/4 and across both future-event-list implementations, the emitted
+# rows must stay byte-identical to an unobserved run, and the sampled
+# trace export must still validate.
+echo "==> metrics smoke: fleet_sweep --metrics across threads and queue kinds"
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 1 --metrics "$trace_dir/metrics_t1.txt" \
+  --trace "$trace_dir/fleet_sampled.json" --trace-sample 2 \
+  | grep '"sweep":"fleet_sweep"' > "$trace_dir/observed_rows.txt"
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 2 --metrics "$trace_dir/metrics_t2.txt" >/dev/null 2>&1
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 4 --metrics "$trace_dir/metrics_t4.txt" >/dev/null 2>&1
+HBO_EVENT_QUEUE=calendar cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 2 --metrics "$trace_dir/metrics_cal.txt" >/dev/null 2>&1
+cmp "$trace_dir/metrics_t1.txt" "$trace_dir/metrics_t2.txt"
+cmp "$trace_dir/metrics_t1.txt" "$trace_dir/metrics_t4.txt"
+cmp "$trace_dir/metrics_t1.txt" "$trace_dir/metrics_cal.txt"
+grep -q '# TYPE mar_counter_samples counter' "$trace_dir/metrics_t1.txt"
+grep -q 'name="mem session bytes"' "$trace_dir/metrics_t1.txt"
+cargo run --release --offline -q -p hbo-bench --bin fleet_sweep -- \
+  --smoke --threads 2 | grep '"sweep":"fleet_sweep"' > "$trace_dir/plain_rows.txt"
+cmp "$trace_dir/observed_rows.txt" "$trace_dir/plain_rows.txt"
+cargo run --release --offline -q -p hbo-bench --bin check_json -- \
+  "$trace_dir/fleet_sampled.json"
+
 # Bench smoke: a tiny-N run of the kernels bench must still emit a
 # parseable BENCH_kernels.json at the repo root, so the tracked perf
 # baseline can't silently rot when bench fixtures or the harness change.

@@ -401,6 +401,196 @@ fn edge_trace_covers_all_four_layers_end_to_end() {
     assert!(stats.counters > 0, "queue-depth counters must be sampled");
 }
 
+/// Differential pin (ISSUE 10, satellite c): the streaming
+/// [`simcore::metrics::AggregatingSink`] must agree exactly with a
+/// post-hoc aggregation of the full Chrome trace. One `edge_offload`
+/// cell runs with BOTH sinks attached through a
+/// [`simcore::trace::TeeSink`]; the exported Chrome JSON is then parsed
+/// back (with the in-tree `parse_json`) and folded into per-(track,
+/// span-name) counts and total durations, which must equal the
+/// aggregator's streaming numbers series for series.
+#[test]
+fn aggregator_matches_post_hoc_chrome_trace_aggregation() {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+
+    use simcore::metrics::AggregatingSink;
+    use simcore::trace::{
+        chrome_trace_json, parse_json, ChromeTraceSink, Json, TeeSink, TraceJob, Tracer,
+    };
+
+    let spec =
+        ScenarioSpec::sc1_cf2().with_edge(marsim::edge::EdgeSpec::wifi(2).with_uplink_mbps(5.0));
+    let config = HboConfig {
+        n_initial: 3,
+        iterations: 5,
+        ..HboConfig::default()
+    };
+    let sink = Rc::new(RefCell::new(TeeSink {
+        first: ChromeTraceSink::new(),
+        second: AggregatingSink::default(),
+    }));
+    let _ =
+        marsim::edge::run_edge_hbo_traced(&spec, &config, 17, Tracer::with_sink(Rc::clone(&sink)));
+    let chrome = chrome_trace_json(&[TraceJob {
+        name: "edge".to_owned(),
+        buffer: sink.borrow().first.snapshot(),
+    }]);
+    let agg = sink.borrow().second.snapshot();
+
+    // Fold the exported JSON back into per-(track, name) span totals.
+    // `ts`/`dur` render as microseconds with three decimals, so
+    // round(µs × 1000) recovers the exact nanosecond values.
+    let parsed = parse_json(&chrome).expect("valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    let ns = |e: &Json, key: &str| -> u64 {
+        (e.get(key).and_then(|v| v.as_num()).expect("numeric field") * 1000.0).round() as u64
+    };
+    let mut track_names: HashMap<u64, String> = HashMap::new();
+    let mut stacks: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+    let mut post_spans: HashMap<(String, String), (u64, u64)> = HashMap::new();
+    let mut post_counters: HashMap<(String, String), (u64, f64)> = HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).expect("ph");
+        let tid = e.get("tid").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
+        let name = || {
+            e.get("name")
+                .and_then(|v| v.as_str())
+                .expect("named event")
+                .to_owned()
+        };
+        match ph {
+            "M" if e.get("name").and_then(|v| v.as_str()) == Some("thread_name") => {
+                let label = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    .expect("thread_name args.name")
+                    .to_owned();
+                track_names.insert(tid, label);
+            }
+            "B" => stacks.entry(tid).or_default().push((name(), ns(e, "ts"))),
+            "E" => {
+                let (open, begin) = stacks
+                    .get_mut(&tid)
+                    .and_then(|s| s.pop())
+                    .expect("E without matching B");
+                let slot = post_spans
+                    .entry((track_names[&tid].clone(), open))
+                    .or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += ns(e, "ts") - begin;
+            }
+            "X" => {
+                let slot = post_spans
+                    .entry((track_names[&tid].clone(), name()))
+                    .or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += ns(e, "dur");
+            }
+            "C" => {
+                let value = e
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(|v| v.as_num())
+                    .expect("counter value");
+                let slot = post_counters
+                    .entry((track_names[&tid].clone(), name()))
+                    .or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += value;
+            }
+            _ => {}
+        }
+    }
+
+    // Every streamed series must match the post-hoc numbers exactly —
+    // same series set, same counts, same total durations.
+    assert!(!agg.spans.is_empty(), "cell produced no span series");
+    assert_eq!(agg.spans.len(), post_spans.len(), "span series sets differ");
+    for s in &agg.spans {
+        let key = (format!("{}:{}", s.process, s.track), s.name.clone());
+        let &(count, total_ns) = post_spans
+            .get(&key)
+            .unwrap_or_else(|| panic!("streamed span series {key:?} missing from trace"));
+        assert_eq!(s.count, count, "span count differs for {key:?}");
+        assert_eq!(s.total_ns, total_ns, "span total differs for {key:?}");
+    }
+    assert!(!agg.counters.is_empty(), "cell produced no counter series");
+    assert_eq!(
+        agg.counters.len(),
+        post_counters.len(),
+        "counter series sets differ"
+    );
+    for c in &agg.counters {
+        let key = (format!("{}:{}", c.process, c.track), c.name.clone());
+        let &(samples, sum) = post_counters
+            .get(&key)
+            .unwrap_or_else(|| panic!("streamed counter series {key:?} missing from trace"));
+        assert_eq!(c.samples, samples, "counter samples differ for {key:?}");
+        assert_eq!(c.sum, sum, "counter sum differs for {key:?}");
+    }
+}
+
+/// The merged metrics exposition of an observed sweep is byte-identical
+/// across reruns and worker-thread counts, and sampling keeps exactly k
+/// jobs' Chrome detail while every job feeds the aggregator (ISSUE 10
+/// acceptance).
+#[test]
+fn metrics_export_is_byte_identical_across_reruns_and_threads() {
+    let config = HboConfig {
+        n_initial: 2,
+        iterations: 2,
+        ..HboConfig::default()
+    };
+    let jobs = || {
+        vec![
+            marsim::runner::SweepJob::derived("a", ScenarioSpec::sc2_cf2(), config.clone()),
+            marsim::runner::SweepJob::derived("b", ScenarioSpec::sc2_cf1(), config.clone()),
+            marsim::runner::SweepJob::derived("c", ScenarioSpec::sc1_cf2(), config.clone()),
+        ]
+    };
+    let observe = || marsim::runner::ObserveConfig {
+        traced: true,
+        trace_sample: Some(1),
+        metrics: true,
+    };
+    let run = |threads: usize| {
+        marsim::runner::run_sweep_observed("metrics_det", jobs(), 7, threads, observe())
+    };
+    let serial = run(1);
+    let text = serial.metrics_text().expect("metrics collected");
+    assert_eq!(
+        Some(text.clone()),
+        run(1).metrics_text(),
+        "rerun must be byte-identical"
+    );
+    assert_eq!(
+        Some(text.clone()),
+        run(2).metrics_text(),
+        "2 threads must match serial"
+    );
+    assert_eq!(
+        Some(text.clone()),
+        run(4).metrics_text(),
+        "4 threads must match serial"
+    );
+    // Exactly one job kept Chrome detail; all three fed the aggregator.
+    assert_eq!(
+        serial.outcomes.iter().filter(|o| o.trace.is_some()).count(),
+        1
+    );
+    assert!(serial.outcomes.iter().all(|o| o.metrics.is_some()));
+    // The exposition carries span families from all instrumented layers.
+    assert!(text.contains("# TYPE mar_span_count counter"));
+    assert!(text.contains("# TYPE mar_span_duration_ns gauge"));
+    assert!(text.contains("quantile=\"0.95\""));
+}
+
 /// The `edge_offload` sweep is bit-identical for any worker-thread count
 /// (ISSUE 4: serial == parallel for the runner-backed sweep).
 #[test]
